@@ -1,0 +1,44 @@
+# Reproduction targets for the register relocation paper.
+
+GO ?= go
+
+.PHONY: all build test vet bench examples figures data clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every paper figure/table as benchmarks (metrics carry the
+# efficiencies); mirrors the harness in bench_test.go.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Run every example program.
+examples:
+	@for d in examples/*/; do \
+		case $$d in examples/programs/) continue;; esac; \
+		echo "=== $$d ==="; $(GO) run ./$$d || exit 1; \
+	done
+
+# Regenerate the ASCII figure plots under docs/figures.
+figures:
+	mkdir -p docs/figures
+	$(GO) run ./cmd/rrsim -experiment figure5 -scale full -format plot > docs/figures/figure5.txt
+	$(GO) run ./cmd/rrsim -experiment figure6 -scale full -format plot > docs/figures/figure6.txt
+	$(GO) run ./cmd/rrsim -experiment scaling -scale full -format plot -panel P-sweep > docs/figures/scaling.txt
+	$(GO) run ./cmd/rrsim -experiment cache-interference -scale full -format plot -panel utilization > docs/figures/cache-interference.txt
+
+# Regenerate the per-experiment CSV data under docs/data.
+data:
+	mkdir -p docs/data
+	$(GO) run ./cmd/rrsim -experiment all -scale full -format summary -o docs/data
+
+clean:
+	rm -f test_output.txt bench_output.txt

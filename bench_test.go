@@ -1,0 +1,318 @@
+// Benchmarks regenerating every table and figure in the paper's
+// evaluation, plus microbenchmarks of the mechanism itself. Each
+// figure bench runs the corresponding experiment panel and reports
+// the headline efficiencies as custom metrics, so `go test -bench=.`
+// reproduces the paper's series end to end.
+package regreloc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"regreloc"
+	"regreloc/internal/alloc"
+	"regreloc/internal/experiment"
+	"regreloc/internal/isa"
+	"regreloc/internal/node"
+	"regreloc/internal/policy"
+	"regreloc/internal/regfile"
+	"regreloc/internal/rng"
+	"regreloc/internal/workload"
+)
+
+// benchScale keeps figure benches fast enough to iterate.
+var benchScale = experiment.Scale{Threads: 24, WorkRuns: 60, MinWork: 1500}
+
+// runPanel runs one (F, R, L) grid panel of a registered experiment
+// and reports mean efficiencies per architecture.
+func runPanel(b *testing.B, id, panel string) {
+	b.Helper()
+	e, ok := experiment.Get(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	var last *experiment.Report
+	for i := 0; i < b.N; i++ {
+		last = e.Run(uint64(i+1), benchScale)
+	}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, p := range last.PanelPoints(panel) {
+		sums[p.Arch] += p.Eff
+		counts[p.Arch]++
+	}
+	for arch, sum := range sums {
+		b.ReportMetric(sum/float64(counts[arch]), "eff-"+arch)
+	}
+	if f, x := sums["fixed"], sums["flexible"]; f > 0 && x > 0 {
+		b.ReportMetric(x/f, "speedup")
+	}
+}
+
+// Figure 5: cache faults, one bench per register file size panel.
+func BenchmarkFigure5(b *testing.B) {
+	for _, f := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("F%d", f), func(b *testing.B) {
+			runPanel(b, "figure5", fmt.Sprintf("F=%d", f))
+		})
+	}
+}
+
+// Figure 6: synchronization faults with two-phase unloading.
+func BenchmarkFigure6(b *testing.B) {
+	for _, f := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("F%d", f), func(b *testing.B) {
+			runPanel(b, "figure6", fmt.Sprintf("F=%d", f))
+		})
+	}
+}
+
+// Section 3.3: the Figure 6(a) rerun with the cheap lookup-table
+// allocator.
+func BenchmarkFigure6aCheapAlloc(b *testing.B) {
+	runPanel(b, "figure6a-cheap", "F=64")
+}
+
+// Section 3.4: homogeneous context sizes.
+func BenchmarkHomogeneousC8(b *testing.B)  { runPanel(b, "homogeneous-c8", "F=128") }
+func BenchmarkHomogeneousC16(b *testing.B) { runPanel(b, "homogeneous-c16", "F=128") }
+
+// Section 3 intro: combined cache + synchronization faults.
+func BenchmarkCombinedFaults(b *testing.B) { runPanel(b, "combined", "F=128") }
+
+// Section 4 ablation: power-of-two (OR) vs exact (ADD) context sizes.
+func BenchmarkAblationRounding(b *testing.B) { runPanel(b, "ablation-rounding", "F=128") }
+
+// Section 3.4: machine-size scaling with network feedback.
+func BenchmarkScaling(b *testing.B) {
+	e, ok := experiment.Get("scaling")
+	if !ok {
+		b.Fatal("scaling not registered")
+	}
+	var last *experiment.Report
+	for i := 0; i < b.N; i++ {
+		last = e.Run(uint64(i+1), benchScale)
+	}
+	if fx, ok := last.Find("P-sweep", "fixed", 12, 512); ok {
+		b.ReportMetric(fx.Eff, "eff-fixed-P512")
+	}
+	if fl, ok := last.Find("P-sweep", "flexible", 12, 512); ok {
+		b.ReportMetric(fl.Eff, "eff-flexible-P512")
+	}
+}
+
+// Section 5.2: shared-cache interference vs resident contexts.
+func BenchmarkCacheInterference(b *testing.B) {
+	e, ok := experiment.Get("cache-interference")
+	if !ok {
+		b.Fatal("cache-interference not registered")
+	}
+	var last *experiment.Report
+	for i := 0; i < b.N; i++ {
+		last = e.Run(uint64(i+1), benchScale)
+	}
+	for _, p := range last.PanelPoints("adaptive") {
+		b.ReportMetric(float64(p.L), "adaptive-N")
+		b.ReportMetric(p.Eff, "adaptive-util")
+	}
+}
+
+// Figure 3: the software context switch measured on the
+// instruction-level machine.
+func BenchmarkFigure3ContextSwitch(b *testing.B) {
+	var cost float64
+	for i := 0; i < b.N; i++ {
+		c, err := experiment.MeasureContextSwitch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost = c
+	}
+	b.ReportMetric(cost, "cycles/switch")
+}
+
+// Figure 4: allocator operation costs — the Go implementations of the
+// Appendix A routines, measured as real ns/op, with the paper's cycle
+// charges as metrics.
+func BenchmarkFigure4AllocatorCosts(b *testing.B) {
+	b.Run("bitmap-alloc-free", func(b *testing.B) {
+		a := alloc.NewBitmap(128, 64, alloc.FlexibleCosts)
+		src := rng.New(1)
+		for i := 0; i < b.N; i++ {
+			ctx, ok := a.Alloc(src.IntRange(6, 24))
+			if ok {
+				a.Free(ctx)
+			}
+		}
+		b.ReportMetric(float64(alloc.FlexibleCosts.AllocSucceed), "model-cycles")
+	})
+	b.Run("lookup-alloc-free", func(b *testing.B) {
+		a := alloc.NewLookup(128, alloc.LookupCosts)
+		src := rng.New(1)
+		for i := 0; i < b.N; i++ {
+			ctx, ok := a.Alloc(src.IntRange(6, 24))
+			if ok {
+				a.Free(ctx)
+			}
+		}
+		b.ReportMetric(float64(alloc.LookupCosts.AllocSucceed), "model-cycles")
+	})
+	b.Run("buddy-alloc-free", func(b *testing.B) {
+		a := alloc.NewBuddy(128, 4, 64, alloc.FlexibleCosts)
+		src := rng.New(1)
+		for i := 0; i < b.N; i++ {
+			ctx, ok := a.Alloc(src.IntRange(6, 24))
+			if ok {
+				a.Free(ctx)
+			}
+		}
+	})
+	b.Run("unload-ISA-measured", func(b *testing.B) {
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			c, err := experiment.MeasureUnload(16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = c
+		}
+		b.ReportMetric(float64(cycles), "cycles/unload-C16")
+	})
+}
+
+// Figure 2 / Section 4 ablation: relocation operator cost at decode.
+func BenchmarkDecodeRelocation(b *testing.B) {
+	for _, mode := range []regfile.Mode{regfile.ModeOR, regfile.ModeADD, regfile.ModeMUX, regfile.ModeBounded} {
+		b.Run(mode.String(), func(b *testing.B) {
+			f := regfile.New(128, mode)
+			f.SetRRM(40)
+			f.SetBound(8)
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				abs, _ := f.Relocate(i&7, isa.OperandBits)
+				sink += abs
+			}
+			if sink == -1 {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}
+
+// Raw machine execution speed (simulated instructions per real second).
+func BenchmarkMachineExecution(b *testing.B) {
+	prog, err := regreloc.Assemble(`
+		movi r1, 0
+		li r2, 1000000000
+	loop:
+		addi r1, r1, 1
+		add r3, r1, r2
+		xor r4, r3, r1
+		bne r1, r2, loop
+		halt
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := regreloc.NewMachine(regreloc.MachineConfig{})
+	m.Load(prog, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// Multi-RRM decode (Section 5.3) vs single-RRM execution.
+func BenchmarkMultiRRM(b *testing.B) {
+	run := func(b *testing.B, multi bool, src string) {
+		prog, err := regreloc.Assemble(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := regreloc.NewMachine(regreloc.MachineConfig{MultiRRM: multi})
+		m.Load(prog, 0)
+		bits := m.RF.RRMBits()
+		m.RF.SetRRM2(32 | 64<<uint(bits))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Step(); err != nil {
+				b.Fatal(err)
+			}
+			if m.Halted() {
+				m.PC = 0
+			}
+		}
+	}
+	b.Run("single", func(b *testing.B) {
+		run(b, false, "add r3, r4, r5\nbeq r0, r0, 0")
+	})
+	b.Run("multi", func(b *testing.B) {
+		run(b, true, "add c0.r3, c0.r4, c1.r6\nbeq r0, r0, 0")
+	})
+}
+
+// Node simulator throughput: simulated cycles per real second.
+func BenchmarkNodeSimulation(b *testing.B) {
+	spec := workload.SyncFaults(32, 512, workload.PaperCtxSize(), 32, 8000)
+	var simulated int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := node.Run(node.FlexibleConfig(128, policy.TwoPhase{}, 8), spec, uint64(i+1))
+		simulated += res.Full.Total()
+	}
+	b.ReportMetric(float64(simulated)/b.Elapsed().Seconds()/1e6, "Mcycles/s")
+}
+
+// The analytic model is essentially free; benchmarked to document it.
+func BenchmarkAnalyticModel(b *testing.B) {
+	p := regreloc.NewAnalyticParams(32, 512, 8)
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += p.Efficiency(float64(i%16) + 1)
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+// Assembler throughput on the full kernel runtime.
+func BenchmarkAssembler(b *testing.B) {
+	prog, err := regreloc.Assemble("nop")
+	if err != nil || len(prog.Words) != 1 {
+		b.Fatal("assembler broken")
+	}
+	src := `
+	start:
+		movi r1, 100
+		lw r2, 4(r1)
+		add r3, r2, r1
+		beq r3, r1, start
+		jal r4, start
+		halt
+	`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := regreloc.Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ISA-level efficiency sweep: the managed machine across fault
+// latencies (every runtime operation in assembly).
+func BenchmarkManagedISA(b *testing.B) {
+	e, ok := experiment.Get("managed-isa")
+	if !ok {
+		b.Fatal("managed-isa not registered")
+	}
+	var last *experiment.Report
+	for i := 0; i < b.N; i++ {
+		last = e.Run(uint64(i+1), benchScale)
+	}
+	for _, p := range last.PanelPoints("ISA") {
+		b.ReportMetric(p.Eff, fmt.Sprintf("eff-L%d", p.L))
+	}
+}

@@ -1,0 +1,89 @@
+// Command rrasm assembles programs for the register relocation ISA and
+// prints the encoded words alongside their disassembly.
+//
+// Usage:
+//
+//	rrasm file.s            # assemble and dump
+//	rrasm -symbols file.s   # also print the symbol table
+//	rrasm -runtime          # dump the kernel runtime (yield/load/unload)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"regreloc/internal/asm"
+	"regreloc/internal/isa"
+	"regreloc/internal/kernel"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run implements the tool; it returns the process exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rrasm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		symbols = fs.Bool("symbols", false, "print the symbol table")
+		runtime = fs.Bool("runtime", false, "assemble the kernel runtime instead of a file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var src string
+	switch {
+	case *runtime:
+		src = kernel.RuntimeSource()
+	case fs.NArg() == 1:
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "rrasm: %v\n", err)
+			return 1
+		}
+		src = string(data)
+	default:
+		fs.Usage()
+		return 2
+	}
+
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		fmt.Fprintf(stderr, "rrasm: %v\n", err)
+		return 1
+	}
+
+	// Invert the symbol table for annotation.
+	byAddr := map[int][]string{}
+	for name, addr := range prog.Symbols {
+		byAddr[addr] = append(byAddr[addr], name)
+	}
+	for _, names := range byAddr {
+		sort.Strings(names)
+	}
+
+	for addr, w := range prog.Words {
+		for _, name := range byAddr[addr] {
+			fmt.Fprintf(stdout, "%s:\n", name)
+		}
+		fmt.Fprintf(stdout, "%6d: %08x  %s\n", addr, uint32(w), isa.Disassemble(isa.Decode(w)))
+	}
+
+	if *symbols {
+		fmt.Fprintln(stdout, "\nsymbols:")
+		names := make([]string, 0, len(prog.Symbols))
+		for name := range prog.Symbols {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool { return prog.Symbols[names[i]] < prog.Symbols[names[j]] })
+		for _, name := range names {
+			fmt.Fprintf(stdout, "%6d  %s\n", prog.Symbols[name], name)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAssembleFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.s")
+	os.WriteFile(path, []byte("start:\n movi r1, 5\n halt\n"), 0o644)
+	var out, errOut strings.Builder
+	if code := run([]string{"-symbols", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"start:", "movi r1, 5", "halt", "symbols:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRuntimeDump(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-runtime"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	s := out.String()
+	for _, want := range []string{"yield:", "unload_entry_64:", "load_entry_8:", "ldrrm r2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("runtime dump missing %q", want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args exit = %d", code)
+	}
+	if code := run([]string{"nonexistent.s"}, &out, &errOut); code != 1 {
+		t.Errorf("missing file exit = %d", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.s")
+	os.WriteFile(bad, []byte("bogus instruction\n"), 0o644)
+	if code := run([]string{bad}, &out, &errOut); code != 1 {
+		t.Errorf("bad source exit = %d", code)
+	}
+}

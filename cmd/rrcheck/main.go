@@ -1,0 +1,75 @@
+// Command rrcheck is the static context-boundary checker from paper
+// Section 2.4: it scans assembled programs for register operands that
+// reach outside a thread's declared context.
+//
+// Usage:
+//
+//	rrcheck -size 16 file.s
+//	rrcheck -size 8 -multirrm file.s
+//	rrcheck -infer file.s          # report the smallest fitting context
+//
+// Exit status is 1 when violations are found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"regreloc/internal/alloc"
+	"regreloc/internal/asm"
+	"regreloc/internal/check"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run implements the tool; it returns the process exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rrcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		size  = fs.Int("size", 0, "declared context size in registers")
+		multi = fs.Bool("multirrm", false, "treat the operand high bit as the RRM selector")
+		infer = fs.Bool("infer", false, "infer the smallest context the code fits in")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 || (*size == 0 && !*infer) {
+		fs.Usage()
+		return 2
+	}
+
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "rrcheck: %v\n", err)
+		return 1
+	}
+	prog, err := asm.Assemble(string(data))
+	if err != nil {
+		fmt.Fprintf(stderr, "rrcheck: %v\n", err)
+		return 1
+	}
+
+	if *infer {
+		n := check.MaxRegister(prog, 0, 0)
+		fmt.Fprintf(stdout, "highest register used: r%d (requirement C = %d, context size %d)\n",
+			n-1, n, alloc.RoundContextSize(n, 4, 64))
+		if *size == 0 {
+			return 0
+		}
+	}
+
+	violations := check.Program(prog, check.Options{ContextSize: *size, MultiRRM: *multi})
+	if len(violations) == 0 {
+		fmt.Fprintf(stdout, "ok: all register operands within a %d-register context\n", *size)
+		return 0
+	}
+	for _, v := range violations {
+		fmt.Fprintln(stdout, v)
+	}
+	return 1
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.s")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCleanProgramExitsZero(t *testing.T) {
+	path := writeTemp(t, "movi r1, 5\nadd r2, r1, r1\nhalt\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-size", "8", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "ok:") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestViolationExitsOne(t *testing.T) {
+	path := writeTemp(t, "add r9, r1, r1\nhalt\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-size", "8", path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "outside context") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestInferMode(t *testing.T) {
+	path := writeTemp(t, "add r13, r1, r1\nhalt\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-infer", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "C = 14") || !strings.Contains(out.String(), "context size 16") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestMultiRRMFlag(t *testing.T) {
+	path := writeTemp(t, "add c0.r3, c0.r4, c1.r6\nhalt\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-size", "8", "-multirrm", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args exit = %d", code)
+	}
+	if code := run([]string{"-size", "8", "nonexistent.s"}, &out, &errOut); code != 1 {
+		t.Errorf("missing file exit = %d", code)
+	}
+	bad := writeTemp(t, "frobnicate r1\n")
+	if code := run([]string{"-size", "8", bad}, &out, &errOut); code != 1 {
+		t.Errorf("bad assembly exit = %d", code)
+	}
+}

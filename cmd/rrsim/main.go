@@ -1,0 +1,118 @@
+// Command rrsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rrsim -list
+//	rrsim -experiment figure5 [-seed 1] [-scale full] [-format table]
+//	rrsim -experiment figure6 -format plot -panel F=128
+//	rrsim -experiment all -format summary
+//
+// Formats: table (default), plot (requires -panel or plots every
+// panel), csv, summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"regreloc/internal/experiment"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run implements the tool; it returns the process exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rrsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list   = fs.Bool("list", false, "list the reproducible experiments")
+		expID  = fs.String("experiment", "", "experiment to run (or \"all\")")
+		seed   = fs.Uint64("seed", 1, "simulation seed")
+		scale  = fs.String("scale", "full", "quick or full")
+		format = fs.String("format", "table", "table, plot, csv, or summary")
+		panel  = fs.String("panel", "", "panel for -format plot (e.g. F=128); empty plots all")
+		outDir = fs.String("o", "", "also write <experiment>.csv files into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Fprintf(stdout, "%-18s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-18s   %s\n", "", e.Description)
+		}
+		return 0
+	}
+	if *expID == "" {
+		fs.Usage()
+		return 2
+	}
+
+	var sc experiment.Scale
+	switch *scale {
+	case "quick":
+		sc = experiment.Quick
+	case "full":
+		sc = experiment.Full
+	default:
+		fmt.Fprintf(stderr, "rrsim: unknown scale %q\n", *scale)
+		return 2
+	}
+
+	var exps []experiment.Experiment
+	if *expID == "all" {
+		exps = experiment.All()
+	} else {
+		e, ok := experiment.Get(*expID)
+		if !ok {
+			fmt.Fprintf(stderr, "rrsim: unknown experiment %q; use -list\n", *expID)
+			return 2
+		}
+		exps = []experiment.Experiment{e}
+	}
+
+	for _, e := range exps {
+		report := e.Run(*seed, sc)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, report.ID+".csv")
+			if err := os.WriteFile(path, []byte(experiment.CSV(report)), 0o644); err != nil {
+				fmt.Fprintf(stderr, "rrsim: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", path)
+		}
+		switch *format {
+		case "table":
+			fmt.Fprint(stdout, experiment.Table(report))
+			if s := experiment.Summary(report); s != "" {
+				fmt.Fprintf(stdout, "\nsummary:\n%s", s)
+			}
+		case "plot":
+			panels := report.Panels()
+			if *panel != "" {
+				panels = []string{*panel}
+			}
+			for _, p := range panels {
+				fmt.Fprintln(stdout, experiment.Plot(report, p))
+			}
+		case "csv":
+			fmt.Fprint(stdout, experiment.CSV(report))
+		case "summary":
+			fmt.Fprintf(stdout, "== %s ==\n%s", report.Title, experiment.Summary(report))
+			for _, n := range report.Notes {
+				fmt.Fprintf(stdout, "   %s\n", n)
+			}
+		default:
+			fmt.Fprintf(stderr, "rrsim: unknown format %q\n", *format)
+			return 2
+		}
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"figure5", "figure6", "figure3", "cache-interference"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunFigure3(t *testing.T) {
+	// figure3 is scale-independent and fast: a good end-to-end check.
+	var out, errOut strings.Builder
+	if code := run([]string{"-experiment", "figure3", "-scale", "quick"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "measured context switch: 5.00 cycles") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestFormats(t *testing.T) {
+	for _, format := range []string{"table", "plot", "csv", "summary"} {
+		var out, errOut strings.Builder
+		code := run([]string{"-experiment", "figure4", "-scale", "quick", "-format", format}, &out, &errOut)
+		if code != 0 {
+			t.Errorf("format %s exit %d", format, code)
+		}
+		if out.Len() == 0 {
+			t.Errorf("format %s produced nothing", format)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args exit %d", code)
+	}
+	if code := run([]string{"-experiment", "nope"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown experiment exit %d", code)
+	}
+	if code := run([]string{"-experiment", "figure3", "-scale", "galactic"}, &out, &errOut); code != 2 {
+		t.Errorf("bad scale exit %d", code)
+	}
+	if code := run([]string{"-experiment", "figure3", "-format", "interpretive-dance"}, &out, &errOut); code != 2 {
+		t.Errorf("bad format exit %d", code)
+	}
+}
+
+func TestCSVOutputDir(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	if code := run([]string{"-experiment", "figure4", "-scale", "quick", "-o", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "experiment,panel,arch") {
+		t.Errorf("csv = %q", string(data)[:40])
+	}
+	if code := run([]string{"-experiment", "figure4", "-scale", "quick", "-o", filepath.Join(dir, "missing", "sub")}, &out, &errOut); code != 1 {
+		t.Errorf("unwritable dir exit %d", code)
+	}
+}

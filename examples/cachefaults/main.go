@@ -1,0 +1,24 @@
+// Cachefaults reproduces one panel of the paper's Figure 5: processor
+// efficiency versus remote-memory latency under cache faults, fixed
+// 32-register hardware contexts versus register relocation, with
+// per-thread register requirements C ~ uniform[6, 24] and contexts
+// never unloaded.
+package main
+
+import (
+	"fmt"
+
+	"regreloc"
+)
+
+func main() {
+	report, ok := regreloc.RunExperiment("figure5", 1, regreloc.QuickScale)
+	if !ok {
+		panic("figure5 not registered")
+	}
+	fmt.Print(regreloc.RenderTable(report))
+	fmt.Println()
+	fmt.Println(regreloc.RenderPlot(report, "F=128"))
+	fmt.Println("summary (flexible vs fixed):")
+	fmt.Print(regreloc.RenderSummary(report))
+}

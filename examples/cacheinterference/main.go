@@ -1,0 +1,22 @@
+// Cacheinterference explores the paper's Section 5.2: threads sharing
+// a cache interfere destructively, so piling on resident contexts
+// eventually hurts; an adaptive runtime limiter (the paper's future
+// work, analogous to controlling the degree of multiprogramming) finds
+// the sweet spot.
+package main
+
+import (
+	"fmt"
+
+	"regreloc"
+)
+
+func main() {
+	report, ok := regreloc.RunExperiment("cache-interference", 7, regreloc.QuickScale)
+	if !ok {
+		panic("cache-interference not registered")
+	}
+	fmt.Print(regreloc.RenderTable(report))
+	fmt.Println()
+	fmt.Println(regreloc.RenderPlot(report, "utilization"))
+}

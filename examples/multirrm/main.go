@@ -1,0 +1,63 @@
+// Multirrm demonstrates the Section 5.3 extension: multiple active
+// register relocation masks. The high-order bit of each register
+// operand selects between two RRMs, so a single instruction can
+// operate across two contexts (add c0.r3, c0.r4, c1.r6), which the
+// paper proposes as a compilation target for languages like TAM that
+// share activation frames — and as a way to emulate register windows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regreloc"
+)
+
+func main() {
+	m := regreloc.NewMachine(regreloc.MachineConfig{Registers: 128, MultiRRM: true})
+
+	// Producer context at base 32, consumer context at base 64.
+	producer, consumer := 32, 64
+	bits := m.RF.RRMBits()
+
+	prog, err := regreloc.Assemble(`
+		; Running with RRM0 = producer, RRM1 = consumer.
+		movi c0.r4, 40        ; producer's local value
+		movi c0.r5, 2         ; producer's local value
+		add c1.r6, c0.r4, c0.r5   ; inter-context: write INTO the consumer
+		halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Load(prog, 0)
+	m.RF.SetRRM2(producer | consumer<<uint(bits))
+
+	if err := m.Run(100); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("producer context base %d: r4=%d r5=%d\n", producer, m.RF.Read(producer+4), m.RF.Read(producer+5))
+	fmt.Printf("consumer context base %d: r6=%d (written by the producer's inter-context add)\n",
+		consumer, m.RF.Read(consumer+6))
+
+	// Register-window emulation: point RRM1 at the callee's window so
+	// the caller's c1 registers alias the callee's c0 registers.
+	fmt.Println("\nregister-window emulation:")
+	m2 := regreloc.NewMachine(regreloc.MachineConfig{Registers: 128, MultiRRM: true})
+	caller, callee := 32, 48
+	p2, err := regreloc.Assemble(`
+		movi c1.r2, 1234      ; caller writes its "out" register
+		halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2.Load(p2, 0)
+	m2.RF.SetRRM2(caller | callee<<uint(bits))
+	if err := m2.Run(100); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("caller's out register c1.r2 -> callee window register %d = %d\n",
+		callee+2, m2.RF.Read(callee+2))
+}

@@ -1,0 +1,60 @@
+// Oversubscribed runs the complete system on the instruction-level
+// machine: more threads than the register file can hold, with every
+// runtime operation executed as real assembly — Appendix A context
+// allocation, Section 2.5 context loading, Figure 3 yields entered
+// through the fault trap, and ready-ring relinking via the Section 5.3
+// multiple-RRM extension. No cycle is assumed; everything is fetched,
+// decoded (with RRM relocation), and executed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regreloc/internal/kernel"
+)
+
+func main() {
+	mgr, err := kernel.NewManager(kernel.WorkerSource())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const threads = 12
+	for i := 0; i < threads; i++ {
+		mgr.Spawn(fmt.Sprintf("w%d", i), "worker", 5)
+	}
+	cycles, err := mgr.Run(3_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %d threads to completion on a 128-register file\n", threads)
+	fmt.Printf("  total cycles:        %d\n", cycles)
+	fmt.Printf("  faults (switches):   %d\n", mgr.Faults)
+	fmt.Printf("  asm allocations:     %d (+1 scheduler bootstrap)\n", mgr.AllocCalls-1)
+	fmt.Printf("  asm deallocations:   %d\n", mgr.DeallocCalls)
+	fmt.Printf("  context loads:       %d\n", mgr.Loads)
+	fmt.Printf("  management passes:   %d\n", mgr.MgmtPasses)
+	fmt.Printf("  final alloc bitmap:  %#08x (scheduler context only)\n", mgr.M.Mem[kernel.GlobalAllocMap])
+
+	// Round two with long fault latencies: blocked contexts are
+	// switch-spun past and evicted by the two-phase rule — the unload
+	// runs the Section 2.5 routine, the ring is relinked with the
+	// Section 5.3 multi-RRM write, and serviced threads reload.
+	mgr2, err := kernel.NewManager(kernel.WorkerSourceLatency(600))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr2.EnableLongFaults()
+	for i := 0; i < threads; i++ {
+		mgr2.Spawn(fmt.Sprintf("w%d", i), "worker", 5)
+	}
+	cycles2, err := mgr2.Run(5_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith 600-cycle fault latencies and two-phase eviction:\n")
+	fmt.Printf("  total cycles:        %d\n", cycles2)
+	fmt.Printf("  unloads (asm):       %d\n", mgr2.Unloads)
+	fmt.Printf("  loads incl. reloads: %d\n", mgr2.Loads)
+	fmt.Printf("  final alloc bitmap:  %#08x\n", mgr2.M.Mem[kernel.GlobalAllocMap])
+}

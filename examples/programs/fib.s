@@ -1,0 +1,19 @@
+; fib.s — iterative Fibonacci, entirely in context-relative registers.
+; Run with:  go run ./cmd/rrvm -dump 0:8 examples/programs/fib.s
+; Relocate:  go run ./cmd/rrvm -rrm 64 -dump 64:72 examples/programs/fib.s
+;
+; r1 = n, r2 = fib(i-1), r3 = fib(i), r4 = result
+	movi r1, 10      ; n
+	movi r2, 0       ; fib(0)
+	movi r3, 1       ; fib(1)
+	movi r5, 1       ; i
+loop:
+	bge r5, r1, done
+	add r4, r2, r3   ; fib(i+1)
+	mov r2, r3
+	mov r3, r4
+	addi r5, r5, 1
+	beq r0, r0, loop
+done:
+	mov r4, r3       ; result = fib(n)
+	halt

@@ -1,0 +1,34 @@
+; pingpong.s — two contexts switching with raw LDRRM, no kernel:
+; the minimal Figure 3 pattern. Context A lives at RRM 0, context B at
+; RRM 32. Each context keeps its partner's mask in r2 and its own
+; resume point in r0, exactly the paper's conventions.
+;
+; Run with:  go run ./cmd/rrvm -dump 0:40 examples/programs/pingpong.s
+	movi r2, 32        ; A.r2 = B's mask
+	movi r1, 0         ; A's counter
+	; forge B's initial state (a loader would do this): we are still in
+	; context A, so write B's registers by switching briefly.
+	ldrrm r2           ; install B (delay slot next)
+	movi r3, bstart    ; delay slot: A.r3 = B's entry (scratch)
+	movi r2, 0         ; B.r2 = A's mask
+	movi r1, 0         ; B's counter
+	movi r4, 10        ; B's iteration limit
+	movi r0, bstart    ; B.r0 = B's entry point
+	ldrrm r2           ; back to A (delay slot next)
+	nop
+	movi r4, 10        ; A's limit
+astart:
+	addi r1, r1, 1     ; A's work
+	jal r0, switch     ; save resume PC, go run B
+	bge r1, r4, done
+	beq r0, r0, astart
+bstart:
+	addi r1, r1, 1     ; B's work
+	jal r0, switch     ; save resume PC, go run A
+	beq r0, r0, bstart
+switch:
+	ldrrm r2           ; Figure 3 yield, PSW elided
+	nop                ; delay slot
+	jmp r0             ; resume partner
+done:
+	halt

@@ -1,0 +1,24 @@
+// Scaling runs the closed-loop machine-size study: an event-driven
+// interconnect supplies remote-miss latencies whose contention depends
+// on the processors' achieved efficiency, and efficiency in turn
+// depends on latency via the multithreading model — iterated to a
+// fixed point per machine size. It demonstrates the paper's motivating
+// trend: bigger machines push L up, and only the architecture with
+// more resident contexts stays saturated.
+package main
+
+import (
+	"fmt"
+
+	"regreloc"
+)
+
+func main() {
+	report, ok := regreloc.RunExperiment("scaling", 5, regreloc.QuickScale)
+	if !ok {
+		panic("scaling not registered")
+	}
+	fmt.Print(regreloc.RenderTable(report))
+	fmt.Println()
+	fmt.Println(regreloc.RenderPlot(report, "P-sweep"))
+}

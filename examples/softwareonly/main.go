@@ -1,0 +1,97 @@
+// Softwareonly demonstrates the Section 5.1 scheme: register
+// relocation performed entirely at compile time by generating multiple
+// code versions over disjoint register subsets — no LDRRM hardware at
+// all, arbitrary partition sizes, at the price of code expansion. It
+// also shows why the paper found the technique impractical beyond two
+// contexts on the 32-register MIPS R3000.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regreloc"
+)
+
+func main() {
+	// The MIPS limitation (paper footnote: several of its 32 registers
+	// are reserved for the OS and calling conventions).
+	fmt.Printf("%s: usable registers support %d compile-time contexts\n",
+		regreloc.ProfileMIPSR3000.Name, regreloc.ProfileMIPSR3000.MaxContexts())
+	if _, err := regreloc.PlanSoftwareContexts(regreloc.ProfileMIPSR3000, []int{12, 12, 12}); err != nil {
+		fmt.Println("three contexts on MIPS:", err)
+	}
+
+	// On a large register file, arbitrary (non-power-of-two!) sizes work.
+	part, err := regreloc.PlanSoftwareContexts(regreloc.ProfileLargeFile, []int{11, 17, 23})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s partition (no power-of-two constraint):\n", regreloc.ProfileLargeFile.Name)
+	for i := range part.Bases {
+		fmt.Printf("  context %d: registers [%d, %d)\n", i, part.Bases[i], part.Bases[i]+part.Sizes[i])
+	}
+
+	// Compile one thread's code for two different contexts and run both
+	// on a machine whose RRM never changes (no relocation hardware
+	// used): compile-time relocation keeps them disjoint.
+	src := `
+		movi r0, 0
+		movi r1, 10
+	loop:
+		addi r0, r0, 1
+		bne r0, r1, loop
+		halt
+	`
+	base, err := regreloc.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := regreloc.NewMachine(regreloc.MachineConfig{Registers: 128})
+	for i := 0; i < 2; i++ {
+		version, err := regreloc.RelocateAtCompileTime(base, part.Bases[i], part.Sizes[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.Reset()
+		m.Load(version, 0)
+		if err := m.Run(1000); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nversion %d (registers %d..%d): counter register r%d = %d after %d cycles",
+			i, part.Bases[i], part.Bases[i]+part.Sizes[i]-1, part.Bases[i], m.RF.Read(part.Bases[i]), m.Cycles())
+	}
+	fmt.Printf("\n\ncode expansion for 2 contexts: %.0fx\n", 2.0)
+
+	// Full software-only multithreading: weave two threads into ONE
+	// program — registers renamed at compile time, segments chained
+	// with always-taken branches, the RRM never touched.
+	seg := "\taddi r1, r1, 1\n"
+	thread := func(name string, rounds int) regreloc.SWThreadSource {
+		s := seg
+		for i := 1; i < rounds; i++ {
+			s += "%yield\n" + seg
+		}
+		return regreloc.SWThreadSource{Name: name, Src: s}
+	}
+	wPart, err := regreloc.PlanSoftwareContexts(regreloc.ProfileLargeFile, []int{8, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	woven, err := regreloc.WeaveThreads(
+		[]regreloc.SWThreadSource{thread("a", 3), thread("b", 5)}, wPart)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := regreloc.Assemble(woven)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wm := regreloc.NewMachine(regreloc.MachineConfig{Registers: 128})
+	wm.Load(prog, 0)
+	if err := wm.Run(1000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwoven execution (no LDRRM at all): thread a counted %d, thread b counted %d, RRM stayed %d\n",
+		wm.RF.Read(wPart.Bases[0]+1), wm.RF.Read(wPart.Bases[1]+1), wm.RF.RRM())
+}

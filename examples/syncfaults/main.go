@@ -1,0 +1,27 @@
+// Syncfaults reproduces the paper's Figure 6 synchronization-fault
+// experiments, including the Figure 6(a) anomaly: at F = 64 with short
+// run lengths and long latencies, load/unload churn makes the
+// 25-cycle general-purpose allocation expensive enough that fixed
+// hardware contexts win marginally — until the Section 3.3 lookup-
+// table allocator restores register relocation's advantage.
+package main
+
+import (
+	"fmt"
+
+	"regreloc"
+)
+
+func main() {
+	report, ok := regreloc.RunExperiment("figure6", 1, regreloc.QuickScale)
+	if !ok {
+		panic("figure6 not registered")
+	}
+	fmt.Print(regreloc.RenderTable(report))
+	fmt.Println()
+	fmt.Println(regreloc.RenderPlot(report, "F=64"))
+
+	fmt.Println("The Section 3.3 rerun with cheap allocation:")
+	cheap, _ := regreloc.RunExperiment("figure6a-cheap", 1, regreloc.QuickScale)
+	fmt.Print(regreloc.RenderTable(cheap))
+}

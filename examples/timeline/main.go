@@ -1,0 +1,26 @@
+// Timeline traces a short multithreaded run and renders what the
+// processor did cycle by cycle: which context ran, the 8-cycle
+// switches, two-phase spin probes, context loads/unloads, and idle
+// gaps. The efficiency numbers of Figures 5 and 6 are summaries of
+// exactly these timelines.
+package main
+
+import (
+	"fmt"
+
+	"regreloc"
+)
+
+func main() {
+	rec := regreloc.NewTraceRecorder(0)
+	cfg := regreloc.FlexibleNode(64, regreloc.TwoPhaseUnload, 8)
+	cfg.Tracer = rec
+	spec := regreloc.SyncFaultWorkload(40, 400, regreloc.PaperContextSizes(), 8, 2000)
+	res := regreloc.RunNode(cfg, spec, 3)
+
+	fmt.Printf("workload: %s   efficiency %.3f   breakdown: %s\n\n",
+		spec.Name, res.Efficiency, res.Windowed.Breakdown())
+	// Show the first chunk of steady state.
+	total := res.Full.Total()
+	fmt.Print(rec.Timeline(total/4, total/4+2000, 100))
+}

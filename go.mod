@@ -1,0 +1,3 @@
+module regreloc
+
+go 1.22

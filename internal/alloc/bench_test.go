@@ -1,0 +1,48 @@
+package alloc
+
+import (
+	"testing"
+
+	"regreloc/internal/rng"
+)
+
+func benchAllocator(b *testing.B, a Allocator) {
+	src := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx, ok := a.Alloc(src.IntRange(6, 24))
+		if ok {
+			a.Free(ctx)
+		}
+	}
+}
+
+func BenchmarkBitmapAllocator(b *testing.B)   { benchAllocator(b, NewBitmap(128, 64, FlexibleCosts)) }
+func BenchmarkFixedAllocator(b *testing.B)    { benchAllocator(b, NewFixed(128, 32)) }
+func BenchmarkLookupAllocator(b *testing.B)   { benchAllocator(b, NewLookup(128, LookupCosts)) }
+func BenchmarkBuddyAllocator(b *testing.B)    { benchAllocator(b, NewBuddy(128, 4, 64, FlexibleCosts)) }
+func BenchmarkFirstFitAllocator(b *testing.B) { benchAllocator(b, NewFirstFit(128, 64, ExactCosts)) }
+
+// Churn: keep the file nearly full so searches and coalescing work.
+func BenchmarkBitmapAllocatorChurn(b *testing.B) {
+	a := NewBitmap(256, 64, FlexibleCosts)
+	src := rng.New(2)
+	var live []Context
+	for {
+		ctx, ok := a.Alloc(src.IntRange(6, 24))
+		if !ok {
+			break
+		}
+		live = append(live, ctx)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := src.Intn(len(live))
+		a.Free(live[k])
+		ctx, ok := a.Alloc(live[k].Size)
+		if !ok {
+			b.Fatal("refill failed")
+		}
+		live[k] = ctx
+	}
+}

@@ -1,0 +1,161 @@
+package alloc
+
+import (
+	"fmt"
+
+	"regreloc/internal/bitmap"
+)
+
+// ChunkRegisters is the allocation granularity: the paper's Appendix A
+// bitmap tracks chunks of 4 contiguous registers, which also sets the
+// minimum context size.
+const ChunkRegisters = 4
+
+// Bitmap is the paper's general-purpose dynamic context allocator
+// (Appendix A): a single-word allocation bitmap over 4-register chunks.
+// Large contexts use linear search over aligned positions
+// (ContextAlloc64); smaller ones use the bit-parallel prefix scan and
+// binary search (ContextAlloc16). It supports register files up to
+// 256 registers (64 chunks).
+type Bitmap struct {
+	fileSize int
+	maxCtx   int
+	costs    CostModel
+	free     bitmap.Word
+	sizes    map[int]int // base register -> allocated size
+}
+
+// NewBitmap returns a Bitmap allocator for a register file of fileSize
+// registers (a power of two in [32, 256]) with maximum context size
+// maxCtx (the 2^w operand-field limit; the paper's experiments use 32
+// as the practical upper bound since C <= 24).
+func NewBitmap(fileSize, maxCtx int, costs CostModel) *Bitmap {
+	validateFileSize(fileSize)
+	if fileSize > 64*ChunkRegisters {
+		panic(fmt.Sprintf("alloc: Bitmap supports at most %d registers, got %d", 64*ChunkRegisters, fileSize))
+	}
+	if !IsPow2(maxCtx) || maxCtx < ChunkRegisters || maxCtx > fileSize {
+		panic(fmt.Sprintf("alloc: invalid max context size %d", maxCtx))
+	}
+	b := &Bitmap{fileSize: fileSize, maxCtx: maxCtx, costs: costs}
+	b.Reset()
+	return b
+}
+
+// Reset implements Allocator.
+func (b *Bitmap) Reset() {
+	b.free = bitmap.Full(b.fileSize / ChunkRegisters)
+	b.sizes = make(map[int]int)
+}
+
+// Alloc implements Allocator. The returned context's base is
+// size-aligned, so it can be installed directly as the RRM.
+func (b *Bitmap) Alloc(required int) (Context, bool) {
+	size := RoundContextSize(required, ChunkRegisters, b.maxCtx)
+	blockChunks := size / ChunkRegisters
+	totalChunks := b.fileSize / ChunkRegisters
+
+	var chunk int
+	if blockChunks*2 >= totalChunks {
+		// Large contexts: few candidate positions, linear search
+		// (paper's ContextAlloc64).
+		chunk, _ = b.free.FindAlignedLinear(blockChunks, totalChunks)
+	} else {
+		// Small contexts: prefix scan + binary search (ContextAlloc16).
+		chunk, _ = b.free.FindAlignedBinary(blockChunks, totalChunks)
+	}
+	if chunk < 0 {
+		return Context{}, false
+	}
+	b.free = b.free.ClearBlock(chunk, blockChunks)
+	base := chunk * ChunkRegisters
+	b.sizes[base] = size
+	return Context{Base: base, Size: size}, true
+}
+
+// Free implements Allocator.
+func (b *Bitmap) Free(ctx Context) {
+	size, ok := b.sizes[ctx.Base]
+	if !ok || size != ctx.Size {
+		panic(fmt.Sprintf("alloc: freeing unallocated context %+v", ctx))
+	}
+	delete(b.sizes, ctx.Base)
+	b.free = b.free.SetBlock(ctx.Base/ChunkRegisters, ctx.Size/ChunkRegisters)
+}
+
+// FreeRegisters implements Allocator.
+func (b *Bitmap) FreeRegisters() int { return b.free.PopCount() * ChunkRegisters }
+
+// FileSize implements Allocator.
+func (b *Bitmap) FileSize() int { return b.fileSize }
+
+// Costs implements Allocator.
+func (b *Bitmap) Costs() CostModel { return b.costs }
+
+// Fixed models the conventional multithreaded baseline: the register
+// file is divided by hardware into fileSize/32 contexts of exactly 32
+// registers. Allocation picks any free slot at zero software cost
+// (Figure 4's deliberately conservative assumption).
+type Fixed struct {
+	fileSize int
+	slotSize int
+	inUse    []bool
+	nFree    int
+}
+
+// NewFixed returns a Fixed allocator with fileSize/slotSize hardware
+// contexts. The paper uses slotSize = 32 throughout.
+func NewFixed(fileSize, slotSize int) *Fixed {
+	validateFileSize(fileSize)
+	if !IsPow2(slotSize) || slotSize > fileSize {
+		panic(fmt.Sprintf("alloc: invalid slot size %d", slotSize))
+	}
+	f := &Fixed{fileSize: fileSize, slotSize: slotSize}
+	f.Reset()
+	return f
+}
+
+// Slots returns the number of hardware contexts.
+func (f *Fixed) Slots() int { return f.fileSize / f.slotSize }
+
+// Reset implements Allocator.
+func (f *Fixed) Reset() {
+	f.inUse = make([]bool, f.Slots())
+	f.nFree = f.Slots()
+}
+
+// Alloc implements Allocator. A thread requiring more registers than
+// the slot size cannot run at all on the fixed-context machine; the
+// paper's workloads keep C <= 24 < 32 so this never fires there.
+func (f *Fixed) Alloc(required int) (Context, bool) {
+	if required > f.slotSize {
+		return Context{}, false
+	}
+	for i, used := range f.inUse {
+		if !used {
+			f.inUse[i] = true
+			f.nFree--
+			return Context{Base: i * f.slotSize, Size: f.slotSize}, true
+		}
+	}
+	return Context{}, false
+}
+
+// Free implements Allocator.
+func (f *Fixed) Free(ctx Context) {
+	i := ctx.Base / f.slotSize
+	if ctx.Base%f.slotSize != 0 || i >= len(f.inUse) || !f.inUse[i] {
+		panic(fmt.Sprintf("alloc: freeing unallocated fixed context %+v", ctx))
+	}
+	f.inUse[i] = false
+	f.nFree++
+}
+
+// FreeRegisters implements Allocator.
+func (f *Fixed) FreeRegisters() int { return f.nFree * f.slotSize }
+
+// FileSize implements Allocator.
+func (f *Fixed) FileSize() int { return f.fileSize }
+
+// Costs implements Allocator: all zero.
+func (f *Fixed) Costs() CostModel { return FixedCosts }

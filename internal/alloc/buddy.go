@@ -1,0 +1,125 @@
+package alloc
+
+import "fmt"
+
+// Buddy is a buddy-system context allocator: a generalization of the
+// paper's bitmap allocator used for ablation studies. Like Bitmap it
+// allocates power-of-two, size-aligned blocks (so bases remain valid
+// RRMs), but it coalesces freed buddies eagerly and supports register
+// files larger than one bitmap word. Its cycle costs are configurable;
+// with FlexibleCosts it is a drop-in replacement for Bitmap in the
+// simulator.
+type Buddy struct {
+	fileSize int
+	minSize  int
+	maxCtx   int
+	costs    CostModel
+	// freeList[k] holds bases of free blocks of size minSize<<k.
+	freeList [][]int
+	sizes    map[int]int
+	nFree    int
+}
+
+// NewBuddy returns a Buddy allocator over fileSize registers with
+// minimum block size minSize and maximum context size maxCtx (all
+// powers of two).
+func NewBuddy(fileSize, minSize, maxCtx int, costs CostModel) *Buddy {
+	validateFileSize(fileSize)
+	if !IsPow2(minSize) || !IsPow2(maxCtx) || minSize > maxCtx || maxCtx > fileSize {
+		panic(fmt.Sprintf("alloc: invalid buddy sizes min=%d max=%d file=%d", minSize, maxCtx, fileSize))
+	}
+	b := &Buddy{fileSize: fileSize, minSize: minSize, maxCtx: maxCtx, costs: costs}
+	b.Reset()
+	return b
+}
+
+func (b *Buddy) orders() int {
+	n := 1
+	for s := b.minSize; s < b.fileSize; s <<= 1 {
+		n++
+	}
+	return n
+}
+
+func (b *Buddy) order(size int) int {
+	k := 0
+	for s := b.minSize; s < size; s <<= 1 {
+		k++
+	}
+	return k
+}
+
+// Reset implements Allocator.
+func (b *Buddy) Reset() {
+	b.freeList = make([][]int, b.orders())
+	top := len(b.freeList) - 1
+	b.freeList[top] = []int{0}
+	b.sizes = make(map[int]int)
+	b.nFree = b.fileSize
+}
+
+// Alloc implements Allocator.
+func (b *Buddy) Alloc(required int) (Context, bool) {
+	size := RoundContextSize(required, b.minSize, b.maxCtx)
+	k := b.order(size)
+	// Find the smallest order >= k with a free block.
+	j := k
+	for j < len(b.freeList) && len(b.freeList[j]) == 0 {
+		j++
+	}
+	if j == len(b.freeList) {
+		return Context{}, false
+	}
+	// Pop a block and split down to order k.
+	base := b.freeList[j][len(b.freeList[j])-1]
+	b.freeList[j] = b.freeList[j][:len(b.freeList[j])-1]
+	for ; j > k; j-- {
+		half := b.minSize << uint(j-1)
+		b.freeList[j-1] = append(b.freeList[j-1], base+half)
+	}
+	b.sizes[base] = size
+	b.nFree -= size
+	return Context{Base: base, Size: size}, true
+}
+
+// Free implements Allocator, coalescing buddies eagerly.
+func (b *Buddy) Free(ctx Context) {
+	size, ok := b.sizes[ctx.Base]
+	if !ok || size != ctx.Size {
+		panic(fmt.Sprintf("alloc: freeing unallocated buddy context %+v", ctx))
+	}
+	delete(b.sizes, ctx.Base)
+	b.nFree += size
+	base, k := ctx.Base, b.order(size)
+	for k < len(b.freeList)-1 {
+		buddy := base ^ (b.minSize << uint(k))
+		idx := -1
+		for i, fb := range b.freeList[k] {
+			if fb == buddy {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		// Remove buddy and merge upward.
+		last := len(b.freeList[k]) - 1
+		b.freeList[k][idx] = b.freeList[k][last]
+		b.freeList[k] = b.freeList[k][:last]
+		if buddy < base {
+			base = buddy
+		}
+		k++
+	}
+	b.freeList[k] = append(b.freeList[k], base)
+}
+
+// FreeRegisters implements Allocator.
+func (b *Buddy) FreeRegisters() int { return b.nFree }
+
+// FileSize implements Allocator.
+func (b *Buddy) FileSize() int { return b.fileSize }
+
+// Costs implements Allocator.
+func (b *Buddy) Costs() CostModel { return b.costs }

@@ -1,0 +1,44 @@
+package alloc_test
+
+import (
+	"fmt"
+
+	"regreloc/internal/alloc"
+)
+
+// The paper's Section 2.3 scenario: dynamic allocation of contexts
+// with varying sizes in a 128-register file. Bases are size-aligned,
+// so each base is directly usable as the thread's RRM.
+func Example() {
+	a := alloc.NewBitmap(128, 64, alloc.FlexibleCosts)
+	for _, c := range []int{6, 14, 22} {
+		ctx, _ := a.Alloc(c)
+		fmt.Printf("C=%-2d -> %2d-register context, RRM %d\n", c, ctx.Size, ctx.RRM())
+	}
+	fmt.Println("free registers:", a.FreeRegisters())
+	// Output:
+	// C=6  ->  8-register context, RRM 0
+	// C=14 -> 16-register context, RRM 16
+	// C=22 -> 32-register context, RRM 32
+	// free registers: 72
+}
+
+// The Section 3.3 specialized allocator supports only 16- and
+// 32-register contexts, making allocation a 4-cycle table lookup.
+func ExampleNewLookup() {
+	a := alloc.NewLookup(64, alloc.LookupCosts)
+	c1, _ := a.Alloc(10)
+	c2, _ := a.Alloc(20)
+	fmt.Printf("sizes %d and %d, costs %d cycles per allocation\n",
+		c1.Size, c2.Size, a.Costs().AllocSucceed)
+	// Output: sizes 16 and 32, costs 4 cycles per allocation
+}
+
+// First-fit exact-size allocation models the Am29000's ADD-based
+// register addressing (Section 4): no power-of-two constraint.
+func ExampleNewFirstFit() {
+	a := alloc.NewFirstFit(128, 64, alloc.ExactCosts)
+	ctx, _ := a.Alloc(17)
+	fmt.Printf("17 registers -> context of exactly %d at base %d\n", ctx.Size, ctx.Base)
+	// Output: 17 registers -> context of exactly 17 at base 0
+}

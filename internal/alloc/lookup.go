@@ -1,0 +1,133 @@
+package alloc
+
+import "fmt"
+
+// lookupSlot is the slot granularity of the specialized allocator: 16
+// registers, the smaller of its two supported context sizes.
+const lookupSlot = 16
+
+// table16[m] is the lowest free slot in a 4-slot group with free-bitmap
+// m, or -1. table32[m] is the lowest slot starting a free aligned pair
+// (0 or 2), or -1. These are the "direct lookup table indexed by this
+// bitmap" from Section 3.3.
+var table16, table32 [16]int
+
+func init() {
+	for m := 0; m < 16; m++ {
+		table16[m] = -1
+		for s := 0; s < 4; s++ {
+			if m&(1<<uint(s)) != 0 {
+				table16[m] = s
+				break
+			}
+		}
+		table32[m] = -1
+		for _, s := range []int{0, 2} {
+			pair := 3 << uint(s)
+			if m&pair == pair {
+				table32[m] = s
+				break
+			}
+		}
+	}
+}
+
+// Lookup is the specialized two-size context allocator sketched in
+// Section 3.3: it supports only contexts of 16 and 32 registers, using
+// a 4-bit free bitmap per 64-register group and a direct lookup table,
+// making allocation "extremely cheap" (LookupCosts). Threads requiring
+// fewer than 16 registers get a 16-register context.
+type Lookup struct {
+	fileSize int
+	groups   []uint8 // 4-bit free bitmaps, one per 64 registers
+	sizes    map[int]int
+	costs    CostModel
+}
+
+// NewLookup returns a Lookup allocator for a register file of fileSize
+// registers (power of two >= 64).
+func NewLookup(fileSize int, costs CostModel) *Lookup {
+	validateFileSize(fileSize)
+	if fileSize < 64 {
+		panic(fmt.Sprintf("alloc: Lookup needs >= 64 registers, got %d", fileSize))
+	}
+	l := &Lookup{fileSize: fileSize, costs: costs}
+	l.Reset()
+	return l
+}
+
+// Reset implements Allocator.
+func (l *Lookup) Reset() {
+	l.groups = make([]uint8, l.fileSize/64)
+	for i := range l.groups {
+		l.groups[i] = 0xf
+	}
+	l.sizes = make(map[int]int)
+}
+
+// Alloc implements Allocator. Requirements above 32 registers fail:
+// this allocator trades generality for speed.
+func (l *Lookup) Alloc(required int) (Context, bool) {
+	if required > 32 {
+		return Context{}, false
+	}
+	size := 16
+	if required > 16 {
+		size = 32
+	}
+	for g, m := range l.groups {
+		var slot int
+		if size == 16 {
+			slot = table16[m]
+		} else {
+			slot = table32[m]
+		}
+		if slot < 0 {
+			continue
+		}
+		used := uint8(1) << uint(slot)
+		if size == 32 {
+			used = 3 << uint(slot)
+		}
+		l.groups[g] = m &^ used
+		base := g*64 + slot*lookupSlot
+		l.sizes[base] = size
+		return Context{Base: base, Size: size}, true
+	}
+	return Context{}, false
+}
+
+// Free implements Allocator.
+func (l *Lookup) Free(ctx Context) {
+	size, ok := l.sizes[ctx.Base]
+	if !ok || size != ctx.Size {
+		panic(fmt.Sprintf("alloc: freeing unallocated lookup context %+v", ctx))
+	}
+	delete(l.sizes, ctx.Base)
+	g := ctx.Base / 64
+	slot := ctx.Base % 64 / lookupSlot
+	bits := uint8(1) << uint(slot)
+	if size == 32 {
+		bits = 3 << uint(slot)
+	}
+	l.groups[g] |= bits
+}
+
+// FreeRegisters implements Allocator.
+func (l *Lookup) FreeRegisters() int {
+	n := 0
+	for _, m := range l.groups {
+		for s := 0; s < 4; s++ {
+			if m&(1<<uint(s)) != 0 {
+				n += lookupSlot
+			}
+		}
+	}
+	return n
+}
+
+// FileSize implements Allocator.
+func (l *Lookup) FileSize() int { return l.fileSize }
+
+// Costs implements Allocator.
+func (l *Lookup) Costs() CostModel { return l.costs }

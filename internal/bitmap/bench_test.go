@@ -1,0 +1,43 @@
+package bitmap
+
+import "testing"
+
+func BenchmarkBlockMap(b *testing.B) {
+	w := Word(0xdeadbeefcafef00d)
+	sink := Word(0)
+	for i := 0; i < b.N; i++ {
+		sink ^= w.BlockMap(4)
+	}
+	if sink == 1 {
+		b.Fatal("impossible")
+	}
+}
+
+func BenchmarkFindAlignedBinary(b *testing.B) {
+	w := Full(32).ClearBlock(0, 16)
+	for i := 0; i < b.N; i++ {
+		if c, _ := w.FindAlignedBinary(4, 32); c < 0 {
+			b.Fatal("lost the block")
+		}
+	}
+}
+
+func BenchmarkFindAlignedLinear(b *testing.B) {
+	w := Full(32).ClearBlock(0, 16)
+	for i := 0; i < b.N; i++ {
+		if c, _ := w.FindAlignedLinear(16, 32); c < 0 {
+			b.Fatal("lost the block")
+		}
+	}
+}
+
+func BenchmarkFF1(b *testing.B) {
+	w := Word(0x8000000000000000)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += w.FF1()
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}

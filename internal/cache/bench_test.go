@@ -1,0 +1,30 @@
+package cache
+
+import (
+	"testing"
+
+	"regreloc/internal/rng"
+)
+
+func BenchmarkAccess(b *testing.B) {
+	c := New(4096, 2, 4)
+	s := NewRefStream(0, 1024, 0.95, 1<<16, rng.New(1))
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if c.Access(s.Next()) {
+			hits++
+		}
+	}
+	if hits < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+func BenchmarkMissRateStudy(b *testing.B) {
+	s := DefaultStudy()
+	s.TotalRefs = 20_000
+	for i := 0; i < b.N; i++ {
+		s.MissRate(4, uint64(i+1))
+	}
+}

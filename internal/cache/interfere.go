@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"fmt"
+
+	"regreloc/internal/analytic"
+	"regreloc/internal/rng"
+)
+
+// Study configures a cache-interference experiment (Section 5.2).
+type Study struct {
+	// CacheWords, Ways, LineWords size the shared cache.
+	CacheWords, Ways, LineWords int
+	// WorkingSet is the per-thread working set in words (fixed mode).
+	WorkingSet int
+	// ShrinkWithParallelism applies Agarwal's observation: with n
+	// threads the per-thread working set becomes WorkingSet/n.
+	ShrinkWithParallelism bool
+	// Locality is the in-working-set access probability.
+	Locality float64
+	// SharedWords sizes the scatter region.
+	SharedWords int
+	// RefsPerRun is how many references a thread issues before the
+	// processor switches contexts (coarse interleaving).
+	RefsPerRun int
+	// TotalRefs is the measurement length.
+	TotalRefs int
+}
+
+// DefaultStudy returns a representative configuration: a 4KW 2-way
+// cache, 1KW thread working sets, and 99% working-set locality, so a
+// lone thread misses ~1% of the time (run length ~100) and the cache
+// thrashes once a few working sets compete.
+func DefaultStudy() Study {
+	return Study{
+		CacheWords: 4096, Ways: 2, LineWords: 4,
+		WorkingSet: 1024, Locality: 0.99, SharedWords: 1 << 16,
+		RefsPerRun: 64, TotalRefs: 200_000,
+	}
+}
+
+func (s Study) validate() {
+	if s.WorkingSet <= 0 || s.RefsPerRun <= 0 || s.TotalRefs <= 0 {
+		panic(fmt.Sprintf("cache: invalid study %+v", s))
+	}
+}
+
+// MissRate measures the shared-cache miss rate with n resident thread
+// contexts interleaving round-robin (RefsPerRun references per turn,
+// modeling a run length between context switches).
+func (s Study) MissRate(n int, seed uint64) float64 {
+	s.validate()
+	if n < 1 {
+		panic("cache: need at least one thread")
+	}
+	ws := s.WorkingSet
+	if s.ShrinkWithParallelism {
+		ws = s.WorkingSet / n
+		if ws < 16 {
+			ws = 16
+		}
+	}
+	c := New(s.CacheWords, s.Ways, s.LineWords)
+	src := rng.New(seed)
+	streams := make([]*RefStream, n)
+	for i := range streams {
+		// Disjoint working sets spaced far apart.
+		streams[i] = NewRefStream(uint64(i)<<24, ws, s.Locality, s.SharedWords, src.Split())
+	}
+	// Warm up one round per thread, then measure.
+	for _, st := range streams {
+		for r := 0; r < s.RefsPerRun; r++ {
+			c.Access(st.Next())
+		}
+	}
+	c.ResetStats()
+	issued := 0
+	for issued < s.TotalRefs {
+		for _, st := range streams {
+			for r := 0; r < s.RefsPerRun; r++ {
+				c.Access(st.Next())
+			}
+			issued += s.RefsPerRun
+		}
+	}
+	return c.MissRate()
+}
+
+// RunLength converts a miss rate into the mean run length between
+// cache faults: R = 1/missRate, the quantity the Section 3
+// experiments treat as the geometric mean R.
+func RunLength(missRate float64) float64 {
+	if missRate <= 0 {
+		return 1e9 // effectively never faults
+	}
+	return 1 / missRate
+}
+
+// Utilization predicts processor utilization with n resident contexts
+// when the run length comes from the measured shared-cache miss rate:
+// the Section 5.2 tradeoff in one number. L and S are the fault
+// latency and switch cost.
+func (s Study) Utilization(n int, l, sw float64, seed uint64) float64 {
+	r := RunLength(s.MissRate(n, seed))
+	return analytic.NewParams(r, l, sw).Efficiency(float64(n))
+}
+
+// Curve evaluates Utilization for n = 1..maxN.
+func (s Study) Curve(maxN int, l, sw float64, seed uint64) []float64 {
+	out := make([]float64, maxN)
+	for n := 1; n <= maxN; n++ {
+		out[n-1] = s.Utilization(n, l, sw, seed)
+	}
+	return out
+}
+
+// Adaptive is the runtime controller the paper's future-work section
+// sketches: it adaptively limits the number of resident contexts by
+// hill-climbing on observed utilization, analogous to controlling the
+// degree of multiprogramming to avoid thrashing (Denning's working
+// sets).
+type Adaptive struct {
+	// N is the current resident-context limit.
+	N int
+	// MinN and MaxN bound the search.
+	MinN, MaxN int
+
+	lastUtil float64
+	dir      int
+	started  bool
+
+	bestN    int
+	bestUtil float64
+}
+
+// NewAdaptive returns a controller starting at startN.
+func NewAdaptive(startN, minN, maxN int) *Adaptive {
+	if minN < 1 || maxN < minN || startN < minN || startN > maxN {
+		panic("cache: invalid adaptive bounds")
+	}
+	return &Adaptive{N: startN, MinN: minN, MaxN: maxN, dir: 1, bestN: startN, bestUtil: -1}
+}
+
+// Observe reports the utilization achieved with the current limit and
+// returns the next limit to try: keep moving while utilization
+// improves, reverse when it degrades (greedy hill climbing with
+// direction memory). The best setting seen so far is remembered; Best
+// returns it.
+func (a *Adaptive) Observe(util float64) int {
+	if util > a.bestUtil {
+		a.bestUtil = util
+		a.bestN = a.N
+	}
+	if a.started && util < a.lastUtil {
+		a.dir = -a.dir
+	}
+	a.started = true
+	a.lastUtil = util
+	a.N = a.step()
+	return a.N
+}
+
+// Best returns the limit with the highest observed utilization.
+func (a *Adaptive) Best() (n int, util float64) { return a.bestN, a.bestUtil }
+
+func (a *Adaptive) step() int {
+	n := a.N + a.dir
+	if n < a.MinN {
+		n = a.MinN
+		a.dir = 1
+	}
+	if n > a.MaxN {
+		n = a.MaxN
+		a.dir = -1
+	}
+	return n
+}
+
+// Converge runs the controller against the study for rounds
+// measurement epochs and settles on the best limit observed, returning
+// it with its utilization — the runtime analogue of tuning the degree
+// of multiprogramming.
+func (a *Adaptive) Converge(s Study, l, sw float64, rounds int, seed uint64) (n int, util float64) {
+	for i := 0; i < rounds; i++ {
+		a.Observe(s.Utilization(a.N, l, sw, seed+uint64(i)))
+	}
+	n, _ = a.Best()
+	a.N = n
+	return n, s.Utilization(n, l, sw, seed)
+}

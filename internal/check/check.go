@@ -1,0 +1,128 @@
+// Package check implements the static context-boundary checker the
+// paper proposes for low-level debugging (Section 2.4): "a separate
+// tool could be used to statically check executables or object files
+// for most violations of context boundaries." It scans an assembled
+// binary and reports every instruction whose live register operands
+// reach outside the thread's declared context size.
+package check
+
+import (
+	"fmt"
+
+	"regreloc/internal/asm"
+	"regreloc/internal/isa"
+)
+
+// Violation is one out-of-context register reference.
+type Violation struct {
+	// Addr is the word address of the offending instruction.
+	Addr int
+	// Line is the source line, when the program has a source map.
+	Line int
+	// Field names the operand field ("rd", "rs1", "rs2").
+	Field string
+	// Operand is the context-relative register number used.
+	Operand int
+	// Limit is the declared context size.
+	Limit int
+	// Instr is the disassembled instruction.
+	Instr string
+}
+
+func (v Violation) String() string {
+	loc := fmt.Sprintf("addr %d", v.Addr)
+	if v.Line > 0 {
+		loc = fmt.Sprintf("line %d (addr %d)", v.Line, v.Addr)
+	}
+	return fmt.Sprintf("%s: %s: %s operand r%d outside context of %d registers",
+		loc, v.Instr, v.Field, v.Operand, v.Limit)
+}
+
+// Options configure a check.
+type Options struct {
+	// ContextSize is the thread's declared context size in registers.
+	ContextSize int
+	// MultiRRM treats the operand high bit as the RRM selector
+	// (Section 5.3): both halves are checked against ContextSize
+	// within their respective contexts.
+	MultiRRM bool
+	// Start and End bound the word-address range checked; End = 0
+	// means the whole program. Use this to check one thread's code in
+	// a combined image.
+	Start, End int
+}
+
+// Program checks an assembled program and returns every violation
+// found, in address order.
+func Program(p *asm.Program, opts Options) []Violation {
+	if opts.ContextSize < 1 {
+		panic("check: invalid context size")
+	}
+	end := opts.End
+	if end == 0 || end > len(p.Words) {
+		end = len(p.Words)
+	}
+	var out []Violation
+	for addr := opts.Start; addr < end; addr++ {
+		in := isa.Decode(p.Words[addr])
+		usesRd, usesRs1, usesRs2, _ := isa.RegisterFields(in.Op)
+		line := 0
+		if addr < len(p.Source) {
+			line = p.Source[addr]
+		}
+		checkField := func(name string, used bool, operand int) {
+			if !used {
+				return
+			}
+			v := operand
+			if opts.MultiRRM {
+				v = operand &^ (1 << (isa.OperandBits - 1))
+			}
+			if v >= opts.ContextSize {
+				out = append(out, Violation{
+					Addr: addr, Line: line, Field: name,
+					Operand: operand, Limit: opts.ContextSize,
+					Instr: isa.Disassemble(in),
+				})
+			}
+		}
+		checkField("rd", usesRd, in.Rd)
+		checkField("rs1", usesRs1, in.Rs1)
+		checkField("rs2", usesRs2, in.Rs2)
+	}
+	return out
+}
+
+// Source assembles src and checks it; a convenience for checking
+// thread code before loading.
+func Source(src string, opts Options) ([]Violation, error) {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return Program(p, opts), nil
+}
+
+// MaxRegister returns the highest context-relative register any live
+// operand in [start, end) uses, plus one — i.e. the smallest context
+// size the code fits in. It is the checker's dual, useful for
+// inferring a thread's requirement from its binary.
+func MaxRegister(p *asm.Program, start, end int) int {
+	if end == 0 || end > len(p.Words) {
+		end = len(p.Words)
+	}
+	max := -1
+	for addr := start; addr < end; addr++ {
+		in := isa.Decode(p.Words[addr])
+		usesRd, usesRs1, usesRs2, _ := isa.RegisterFields(in.Op)
+		for _, f := range []struct {
+			used bool
+			v    int
+		}{{usesRd, in.Rd}, {usesRs1, in.Rs1}, {usesRs2, in.Rs2}} {
+			if f.used && f.v > max {
+				max = f.v
+			}
+		}
+	}
+	return max + 1
+}

@@ -1,0 +1,151 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"regreloc/internal/asm"
+)
+
+func TestCleanProgram(t *testing.T) {
+	vs, err := Source(`
+		movi r1, 5
+		add r2, r1, r1
+		sw r2, 0(r1)
+		halt
+	`, Options{ContextSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("violations in clean program: %v", vs)
+	}
+}
+
+func TestDetectsEscape(t *testing.T) {
+	vs, err := Source(`
+		movi r1, 5
+		add r9, r1, r1   ; r9 outside an 8-register context
+	`, Options{ContextSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+	v := vs[0]
+	if v.Field != "rd" || v.Operand != 9 || v.Limit != 8 || v.Addr != 1 {
+		t.Errorf("violation = %+v", v)
+	}
+	if v.Line != 3 {
+		t.Errorf("line = %d want 3", v.Line)
+	}
+	if !strings.Contains(v.String(), "outside context") {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestAllFieldsChecked(t *testing.T) {
+	vs, err := Source("add r9, r10, r11", Options{ContextSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 {
+		t.Fatalf("want 3 violations, got %v", vs)
+	}
+	fields := map[string]bool{}
+	for _, v := range vs {
+		fields[v.Field] = true
+	}
+	if !fields["rd"] || !fields["rs1"] || !fields["rs2"] {
+		t.Errorf("fields = %v", fields)
+	}
+}
+
+func TestDeadFieldsIgnored(t *testing.T) {
+	// movi only uses rd; the rs fields decode as garbage from the
+	// immediate and must not be flagged.
+	vs, err := Source("movi r1, 8191", Options{ContextSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("immediate bits flagged as registers: %v", vs)
+	}
+}
+
+func TestStoreSourceChecked(t *testing.T) {
+	// sw reads rd; an out-of-context store source is a leak.
+	vs, err := Source("sw r12, 0(r1)", Options{ContextSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Field != "rd" {
+		t.Errorf("violations = %v", vs)
+	}
+}
+
+func TestMultiRRMOption(t *testing.T) {
+	// c1.r6 encodes as operand 38; with MultiRRM the selector bit is
+	// masked and 6 is within an 8-register context.
+	src := "add c0.r3, c0.r4, c1.r6"
+	vs, err := Source(src, Options{ContextSize: 8, MultiRRM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("multiRRM-aware check flagged %v", vs)
+	}
+	// Without the option the raw operand 38 violates.
+	vs, _ = Source(src, Options{ContextSize: 8})
+	if len(vs) != 1 {
+		t.Errorf("raw check found %v", vs)
+	}
+}
+
+func TestRangeRestriction(t *testing.T) {
+	p := asm.MustAssemble(`
+		movi r20, 1   ; thread A's code (context 32)
+		halt
+		movi r9, 1    ; thread B's code (context 8) -- violation
+		halt
+	`)
+	vs := Program(p, Options{ContextSize: 8, Start: 2, End: 4})
+	if len(vs) != 1 || vs[0].Addr != 2 {
+		t.Errorf("ranged check = %v", vs)
+	}
+	// Checking only thread A's range with its own size is clean.
+	if vs := Program(p, Options{ContextSize: 32, Start: 0, End: 2}); len(vs) != 0 {
+		t.Errorf("thread A flagged: %v", vs)
+	}
+}
+
+func TestMaxRegister(t *testing.T) {
+	p := asm.MustAssemble(`
+		movi r1, 5
+		add r7, r1, r3
+		halt
+	`)
+	if got := MaxRegister(p, 0, 0); got != 8 {
+		t.Errorf("MaxRegister = %d want 8", got)
+	}
+	// Empty range.
+	if got := MaxRegister(p, 2, 3); got != 0 {
+		t.Errorf("halt-only MaxRegister = %d want 0", got)
+	}
+}
+
+func TestSourceAssemblyError(t *testing.T) {
+	if _, err := Source("bogus r1", Options{ContextSize: 8}); err == nil {
+		t.Error("assembly error not propagated")
+	}
+}
+
+func TestInvalidOptionsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero context size accepted")
+		}
+	}()
+	Program(&asm.Program{}, Options{})
+}

@@ -1,0 +1,112 @@
+package ctxcache
+
+import "testing"
+
+func TestTouchHitAndFill(t *testing.T) {
+	c := New(4)
+	p1 := c.Touch(0, 1)
+	p2 := c.Touch(0, 2)
+	if p1 == p2 {
+		t.Fatal("two bindings mapped to one register")
+	}
+	// Re-touching hits and keeps the binding.
+	if c.Touch(0, 1) != p1 {
+		t.Error("rebinding moved a resident name")
+	}
+	hits, fills, spills := c.Stats()
+	if hits != 1 || fills != 2 || spills != 0 {
+		t.Errorf("stats = %d/%d/%d", hits, fills, spills)
+	}
+}
+
+func TestSpillOnlyWhenNeeded(t *testing.T) {
+	// The context cache's defining property: registers spill only when
+	// another binding needs the space.
+	c := New(4)
+	for r := 0; r < 4; r++ {
+		c.Touch(0, r)
+	}
+	if _, _, spills := c.Stats(); spills != 0 {
+		t.Fatalf("spilled %d with free registers", spills)
+	}
+	c.Touch(1, 0) // fifth binding: one spill
+	if _, _, spills := c.Stats(); spills != 1 {
+		t.Errorf("spills = %d want 1", spills)
+	}
+	// The LRU binding (thread 0, reg 0) was the victim.
+	if c.Resident(0) != 3 || c.Resident(1) != 1 {
+		t.Errorf("residency = %d/%d", c.Resident(0), c.Resident(1))
+	}
+}
+
+func TestLRUVictimSelection(t *testing.T) {
+	c := New(2)
+	c.Touch(0, 0)
+	c.Touch(0, 1)
+	c.Touch(0, 0) // refresh reg 0; reg 1 is now LRU
+	c.Touch(1, 5) // evicts (0,1)
+	if c.Touch(0, 0) != c.Touch(0, 0) {
+		t.Error("unstable binding")
+	}
+	hits, _, _ := c.Stats()
+	if hits < 3 {
+		t.Errorf("reg 0 should have stayed resident (hits=%d)", hits)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0)
+}
+
+func TestCompareTrafficOrdering(t *testing.T) {
+	// The Section 4 granularity spectrum: when threads oversubscribe
+	// the file, finer binding moves fewer registers. Context cache
+	// (per-register) <= register relocation (per-context, exact C)
+	// <= fixed (per-context, with the same C-based costs but fewer
+	// resident contexts forcing more churn).
+	workingSets := []int{6, 8, 12, 16, 10, 7, 9, 14}
+	tr := CompareTraffic(64, workingSets, 50)
+	if !(tr.ContextCache < tr.RegReloc) {
+		t.Errorf("context cache %d >= regreloc %d", tr.ContextCache, tr.RegReloc)
+	}
+	if !(tr.RegReloc < tr.Fixed) {
+		t.Errorf("regreloc %d >= fixed %d", tr.RegReloc, tr.Fixed)
+	}
+}
+
+func TestCompareTrafficAllResident(t *testing.T) {
+	// When everything fits, whole-context schemes pay only the initial
+	// loads and the context cache only the initial fills.
+	workingSets := []int{6, 6}
+	tr := CompareTraffic(128, workingSets, 100)
+	if tr.RegReloc != 12 || tr.Fixed != 12 {
+		t.Errorf("context traffic = %d/%d want 12 (initial loads only)", tr.RegReloc, tr.Fixed)
+	}
+	if tr.ContextCache != 12 {
+		t.Errorf("context cache traffic = %d want 12", tr.ContextCache)
+	}
+}
+
+func TestCompareTrafficPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	CompareTraffic(64, nil, 10)
+}
+
+func TestResidentCounts(t *testing.T) {
+	c := New(8)
+	for r := 0; r < 5; r++ {
+		c.Touch(3, r)
+	}
+	if c.Resident(3) != 5 || c.Resident(0) != 0 {
+		t.Errorf("residency %d/%d", c.Resident(3), c.Resident(0))
+	}
+}

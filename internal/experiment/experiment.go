@@ -1,0 +1,224 @@
+// Package experiment defines and runs the paper's evaluation: one
+// registered experiment per table and figure, each producing a Report
+// whose rows mirror the series the paper plots. The harness renders
+// reports as text tables, ASCII plots (efficiency vs latency, one curve
+// per run length, solid/fixed vs dotted/flexible — like Figures 5 and
+// 6), and CSV.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"regreloc/internal/node"
+	"regreloc/internal/workload"
+)
+
+// Scale controls the cost of a run: population size, per-thread work
+// (as a multiple of the run length R), and measurement repetitions.
+type Scale struct {
+	// Threads is the synthetic thread population per simulation.
+	Threads int
+	// WorkRuns is per-thread work expressed in average run lengths, so
+	// longer-R workloads get proportionally more work per thread.
+	WorkRuns int64
+	// MinWork floors the per-thread work in cycles.
+	MinWork int64
+}
+
+// Scales used by tests, benchmarks, and the CLI.
+var (
+	// Quick is for unit tests and -bench smoke runs.
+	Quick = Scale{Threads: 32, WorkRuns: 100, MinWork: 2000}
+	// Full is the default reproduction scale.
+	Full = Scale{Threads: 64, WorkRuns: 400, MinWork: 8000}
+)
+
+func (s Scale) workPer(r int) int64 {
+	w := int64(r) * s.WorkRuns
+	if w < s.MinWork {
+		w = s.MinWork
+	}
+	return w
+}
+
+// Measurement is one simulated data point: a (figure, panel, curve,
+// x-value) cell.
+type Measurement struct {
+	Panel string // e.g. "F=64"
+	Arch  string // "fixed", "flexible", "flexible-lookup", ...
+	R     int    // run length (curve)
+	L     int    // latency (x axis)
+	F     int    // register file size
+	Eff   float64
+	Res   node.Result
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	ID          string
+	Title       string
+	Description string
+	// Notes carry per-experiment commentary (e.g. the paper's claimed
+	// qualitative result for comparison).
+	Notes []string
+	// Points are all measurements, ordered panel-major.
+	Points []Measurement
+}
+
+// Panels returns the distinct panel names in first-seen order.
+func (r *Report) Panels() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range r.Points {
+		if !seen[p.Panel] {
+			seen[p.Panel] = true
+			out = append(out, p.Panel)
+		}
+	}
+	return out
+}
+
+// PanelPoints returns the measurements of one panel.
+func (r *Report) PanelPoints(panel string) []Measurement {
+	var out []Measurement
+	for _, p := range r.Points {
+		if p.Panel == panel {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Find returns the measurement for (panel, arch, R, L), or ok=false.
+func (r *Report) Find(panel, arch string, rl, lat int) (Measurement, bool) {
+	for _, p := range r.Points {
+		if p.Panel == panel && p.Arch == arch && p.R == rl && p.L == lat {
+			return p, true
+		}
+	}
+	return Measurement{}, false
+}
+
+// Experiment is a registered, runnable reproduction of one table or
+// figure.
+type Experiment struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(seed uint64, scale Scale) *Report
+}
+
+var registry = map[string]Experiment{}
+var registryOrder []string
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiment: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+	registryOrder = append(registryOrder, e.ID)
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every registered experiment in registration order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, id := range registryOrder {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// IDs returns the registered experiment IDs in order.
+func IDs() []string {
+	return append([]string(nil), registryOrder...)
+}
+
+// sweep runs a fixed-vs-flexible comparison over the full (F, R, L)
+// grid for the given workload builder and architectures.
+type archSpec struct {
+	name string
+	cfg  func(fileSize int) node.Config
+}
+
+func sweep(seed uint64, scale Scale, fs, rs, ls []int,
+	mkSpec func(r, l int, work int64) workload.Spec, archs []archSpec) []Measurement {
+
+	var out []Measurement
+	for _, f := range fs {
+		panel := fmt.Sprintf("F=%d", f)
+		for _, r := range rs {
+			for _, l := range ls {
+				spec := mkSpec(r, l, scale.workPer(r))
+				for _, a := range archs {
+					res := node.Run(a.cfg(f), spec, seed)
+					out = append(out, Measurement{
+						Panel: panel, Arch: a.name, R: r, L: l, F: f,
+						Eff: res.Efficiency, Res: res,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Curves groups a panel's measurements into (arch, R) curves sorted by
+// L, for plotting.
+type Curve struct {
+	Arch string
+	R    int
+	L    []int
+	Eff  []float64
+}
+
+// PanelCurves extracts the curves of one panel, fixed archs first, then
+// by ascending R.
+func (r *Report) PanelCurves(panel string) []Curve {
+	type key struct {
+		arch string
+		r    int
+	}
+	byKey := map[key]*Curve{}
+	var order []key
+	for _, p := range r.PanelPoints(panel) {
+		k := key{p.Arch, p.R}
+		c, ok := byKey[k]
+		if !ok {
+			c = &Curve{Arch: p.Arch, R: p.R}
+			byKey[k] = c
+			order = append(order, k)
+		}
+		c.L = append(c.L, p.L)
+		c.Eff = append(c.Eff, p.Eff)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].arch != order[j].arch {
+			return order[i].arch < order[j].arch
+		}
+		return order[i].r < order[j].r
+	})
+	out := make([]Curve, 0, len(order))
+	for _, k := range order {
+		c := byKey[k]
+		// Sort points by L.
+		idx := make([]int, len(c.L))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return c.L[idx[a]] < c.L[idx[b]] })
+		sorted := Curve{Arch: c.Arch, R: c.R}
+		for _, i := range idx {
+			sorted.L = append(sorted.L, c.L[i])
+			sorted.Eff = append(sorted.Eff, c.Eff[i])
+		}
+		out = append(out, sorted)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"fmt"
+
+	"regreloc/internal/cache"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "cache-interference",
+		Title: "Section 5.2: cache interference vs resident contexts",
+		Description: "Shared-cache miss rate and resulting processor utilization " +
+			"as the number of resident contexts grows, with fixed per-thread " +
+			"working sets (destructive interference) and with working sets that " +
+			"shrink with parallelism (Agarwal's observation); plus the adaptive " +
+			"resident-context limiter from the paper's future work. The L column " +
+			"holds N; Eff holds utilization for the util curves and miss rate " +
+			"for the miss-rate curves.",
+		Run: func(seed uint64, scale Scale) *Report {
+			r := &Report{
+				ID:    "cache-interference",
+				Title: "Section 5.2: cache interference vs resident contexts",
+				Notes: []string{
+					"Utilization first rises with resident contexts (latency",
+					"tolerance), then falls as working sets thrash the shared cache;",
+					"the adaptive controller finds the knee. The L column holds N.",
+				},
+			}
+			const (
+				latency    = 500
+				switchCost = 6
+				maxN       = 10
+			)
+			study := cache.DefaultStudy()
+			// Keep test runs quick at reduced scale.
+			if scale.Threads <= Quick.Threads {
+				study.TotalRefs = 60_000
+			}
+			shrink := study
+			shrink.ShrinkWithParallelism = true
+
+			for n := 1; n <= maxN; n++ {
+				mr := study.MissRate(n, seed)
+				r.Points = append(r.Points,
+					Measurement{Panel: "miss-rate", Arch: "fixed-ws", R: 0, L: n, Eff: mr},
+					Measurement{Panel: "miss-rate", Arch: "shrinking-ws", R: 0, L: n, Eff: shrink.MissRate(n, seed)},
+					Measurement{Panel: "utilization", Arch: "fixed-ws", R: 0, L: n,
+						Eff: study.Utilization(n, latency, switchCost, seed)},
+					Measurement{Panel: "utilization", Arch: "shrinking-ws", R: 0, L: n,
+						Eff: shrink.Utilization(n, latency, switchCost, seed)},
+				)
+			}
+
+			a := cache.NewAdaptive(1, 1, maxN)
+			n, util := a.Converge(study, latency, switchCost, 3*maxN, seed)
+			r.Notes = append(r.Notes,
+				fmt.Sprintf("adaptive controller settled at N=%d with utilization %.3f", n, util))
+			r.Points = append(r.Points,
+				Measurement{Panel: "adaptive", Arch: "adaptive", R: 0, L: n, Eff: util})
+			return r
+		},
+	})
+}

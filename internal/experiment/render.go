@@ -1,0 +1,217 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table renders a report as text tables, one per panel: rows are L
+// values, columns are (arch, R) curves — the same series the paper's
+// figures plot.
+func Table(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "   %s\n", n)
+	}
+	for _, panel := range r.Panels() {
+		curves := r.PanelCurves(panel)
+		if len(curves) == 0 {
+			continue
+		}
+		// Only render efficiency tables for sweep-style panels.
+		if len(curves[0].L) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n-- %s --\n", panel)
+		// Header.
+		fmt.Fprintf(&b, "%8s", "L")
+		for _, c := range curves {
+			fmt.Fprintf(&b, "  %16s", fmt.Sprintf("%s R=%d", c.Arch, c.R))
+		}
+		b.WriteByte('\n')
+		// Collect the union of L values.
+		ls := map[int]bool{}
+		for _, c := range curves {
+			for _, l := range c.L {
+				ls[l] = true
+			}
+		}
+		sorted := make([]int, 0, len(ls))
+		for l := range ls {
+			sorted = append(sorted, l)
+		}
+		sort.Ints(sorted)
+		for _, l := range sorted {
+			fmt.Fprintf(&b, "%8d", l)
+			for _, c := range curves {
+				cell := strings.Repeat(" ", 16)
+				for i, cl := range c.L {
+					if cl == l {
+						cell = fmt.Sprintf("%16.3f", c.Eff[i])
+						break
+					}
+				}
+				fmt.Fprintf(&b, "  %s", cell)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// plotSymbols assigns one rune per curve, cycling if exhausted.
+var plotSymbols = []byte("oxs^*+#@%&")
+
+// Plot renders one panel as an ASCII chart: efficiency (y, 0..1)
+// against the L grid (x, equally spaced like a log axis), one symbol
+// per curve — the textual analogue of the paper's Figures 5 and 6.
+func Plot(r *Report, panel string) string {
+	curves := r.PanelCurves(panel)
+	if len(curves) == 0 {
+		return fmt.Sprintf("(no data for panel %q)\n", panel)
+	}
+	const width, height = 62, 21
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	// Union of x positions.
+	ls := map[int]int{}
+	var sorted []int
+	for _, c := range curves {
+		for _, l := range c.L {
+			if _, ok := ls[l]; !ok {
+				ls[l] = 0
+				sorted = append(sorted, l)
+			}
+		}
+	}
+	sort.Ints(sorted)
+	for i, l := range sorted {
+		x := 0
+		if len(sorted) > 1 {
+			x = i * (width - 1) / (len(sorted) - 1)
+		}
+		ls[l] = x
+	}
+
+	var legend []string
+	for ci, c := range curves {
+		sym := plotSymbols[ci%len(plotSymbols)]
+		legend = append(legend, fmt.Sprintf("%c %s R=%d", sym, c.Arch, c.R))
+		for i, l := range c.L {
+			x := ls[l]
+			y := int((1 - clamp01(c.Eff[i])) * float64(height-1))
+			grid[y][x] = sym
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (efficiency vs L)\n", r.Title, panel)
+	for i, row := range grid {
+		yVal := 1 - float64(i)/float64(height-1)
+		label := "    "
+		if i%5 == 0 {
+			label = fmt.Sprintf("%.2f", yVal)
+		}
+		fmt.Fprintf(&b, "%4s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "     +%s\n", strings.Repeat("-", width))
+	// X labels: first, middle, last.
+	xlab := make([]byte, width+6)
+	for i := range xlab {
+		xlab[i] = ' '
+	}
+	place := func(x int, s string) {
+		for i := 0; i < len(s) && 6+x+i < len(xlab); i++ {
+			xlab[6+x+i] = s[i]
+		}
+	}
+	if len(sorted) > 0 {
+		place(0, fmt.Sprint(sorted[0]))
+		place(ls[sorted[len(sorted)/2]], fmt.Sprint(sorted[len(sorted)/2]))
+		last := fmt.Sprint(sorted[len(sorted)-1])
+		place(width-len(last), last)
+	}
+	b.Write(xlab)
+	b.WriteString("  (L)\n")
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "   "))
+	return b.String()
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// CSV renders every measurement as comma-separated rows with a header,
+// for external plotting.
+func CSV(r *Report) string {
+	var b strings.Builder
+	b.WriteString("experiment,panel,arch,F,R,L,efficiency,avg_resident,allocs,alloc_fails,unloads,faults\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%d,%.6f,%.3f,%d,%d,%d,%d\n",
+			r.ID, p.Panel, p.Arch, p.F, p.R, p.L, p.Eff,
+			p.Res.AvgResident, p.Res.Allocs, p.Res.AllocFails, p.Res.Unloads, p.Res.Faults)
+	}
+	return b.String()
+}
+
+// Summary produces a one-paragraph comparison for fixed-vs-flexible
+// reports: per panel, the geometric-mean speedup of flexible over
+// fixed and where each architecture wins.
+func Summary(r *Report) string {
+	var b strings.Builder
+	for _, panel := range r.Panels() {
+		pts := r.PanelPoints(panel)
+		type key struct{ rl, lat int }
+		fixed := map[key]float64{}
+		flex := map[key]float64{}
+		for _, p := range pts {
+			k := key{p.R, p.L}
+			switch p.Arch {
+			case "fixed":
+				fixed[k] = p.Eff
+			case "flexible":
+				flex[k] = p.Eff
+			}
+		}
+		if len(fixed) == 0 || len(flex) == 0 {
+			continue
+		}
+		logSum, n := 0.0, 0
+		flexWins, fixedWins := 0, 0
+		maxRatio := 0.0
+		for k, fe := range fixed {
+			xe, ok := flex[k]
+			if !ok || fe <= 0 {
+				continue
+			}
+			ratio := xe / fe
+			logSum += math.Log(ratio)
+			n++
+			if ratio > maxRatio {
+				maxRatio = ratio
+			}
+			if ratio >= 1.005 {
+				flexWins++
+			} else if ratio <= 0.995 {
+				fixedWins++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s: flexible/fixed geomean %.2fx (max %.2fx); flexible wins %d, fixed wins %d, ties %d of %d points\n",
+			panel, math.Exp(logSum/float64(n)), maxRatio, flexWins, fixedWins, n-flexWins-fixedWins, n)
+	}
+	return b.String()
+}

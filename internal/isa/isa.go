@@ -1,0 +1,292 @@
+// Package isa defines the RISC instruction set used by the register
+// relocation machine simulator. It is a deliberately simple load/store
+// architecture in the style the paper assumes (Section 2.1): 32-bit
+// instructions with fixed-field decoding, so every register operand
+// sits at a fixed bit position and can be relocated by OR-ing with the
+// register relocation mask during decode.
+//
+// Instruction word layout (bit 31 is the most significant):
+//
+//	op[31:26] rd[25:20] rs1[19:14] rs2[13:8] imm8[7:0]
+//
+// Register operand fields are w = 6 bits wide, so a single context can
+// address at most 2^6 = 64 registers; the machine's register file may
+// be larger (up to 256 registers, matching the paper's examples).
+// I-type instructions reinterpret bits [13:0] as a signed 14-bit
+// immediate and U-type instructions reinterpret bits [19:0] as a 20-bit
+// immediate; the hardware still extracts and relocates all three
+// operand fields on every decode (that is what fixed-field decoding
+// means), the semantics simply ignore the relocated values it does not
+// use.
+package isa
+
+import "fmt"
+
+// OperandBits is w, the width of a register operand field. It bounds
+// the maximum context size at 2^w registers (Section 2.3).
+const OperandBits = 6
+
+// MaxContextSize is 2^w, the largest context a single RRM can address.
+const MaxContextSize = 1 << OperandBits
+
+// Op is an opcode.
+type Op uint8
+
+// The instruction set. Arithmetic is three-register; immediates are
+// I-type. LDRRM/RDRRM/LDRRM2 manage register relocation masks
+// (Sections 2.1 and 5.3); MFPSW/MTPSW access the processor status word
+// used by the Figure 3 context switch; FAULT injects a high-latency
+// event (remote cache miss or failed synchronization attempt); FF1
+// finds the first set bit (the MC88000 instruction from footnote 2).
+const (
+	NOP Op = iota
+	HALT
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLTI
+	MOVI // rd <- imm14 (no source register)
+	LUI  // rd <- imm20 << 12
+	LW   // rd <- mem[rs1 + imm14]
+	SW   // mem[rs1 + imm14] <- rd (rd field is a source here)
+	BEQ  // if rd == rs1: pc += imm14 (rd field is a source)
+	BNE
+	BLT
+	BGE
+	JAL    // rd <- pc+1; pc += imm14
+	JALR   // rd <- pc+1; pc <- rs1
+	JMP    // pc <- rs1
+	LDRRM  // RRM <- low bits of rs1 (delay slots apply)
+	RDRRM  // rd <- current RRM
+	LDRRM2 // RRM0 <- low byte of rs1, RRM1 <- next byte (Section 5.3)
+	MFPSW  // rd <- PSW
+	MTPSW  // PSW <- rs1
+	FF1    // rd <- index of lowest set bit of rs1, or -1
+	FAULT  // raise a fault; latency given by rs1's value
+	numOps
+)
+
+var opNames = [...]string{
+	"nop", "halt", "add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+	"slt", "sltu", "addi", "andi", "ori", "xori", "slti", "movi", "lui",
+	"lw", "sw", "beq", "bne", "blt", "bge", "jal", "jalr", "jmp",
+	"ldrrm", "rdrrm", "ldrrm2", "mfpsw", "mtpsw", "ff1", "fault",
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if int(o) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+	return opNames[o]
+}
+
+// OpByName maps assembler mnemonics to opcodes.
+var OpByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for i := Op(0); i < numOps; i++ {
+		m[i.String()] = i
+	}
+	return m
+}()
+
+// Format describes which fields an instruction's semantics consume.
+type Format int
+
+// Instruction formats.
+const (
+	FormatNone   Format = iota // no operands (nop, halt)
+	FormatRRR                  // rd, rs1, rs2
+	FormatRRI                  // rd, rs1, imm14
+	FormatRI                   // rd, imm (movi: imm14; lui: imm20)
+	FormatMem                  // lw/sw: rd, imm14(rs1)
+	FormatBranch               // rd(src), rs1, imm14 target offset
+	FormatJal                  // rd, imm14
+	FormatR1                   // single register in rs1 (ldrrm, mtpsw, jmp)
+	FormatRD                   // single register in rd (rdrrm, mfpsw)
+	FormatRR                   // rd, rs1 (ff1)
+	FormatJalr                 // rd, rs1
+)
+
+// FormatOf returns the format for an opcode.
+func FormatOf(op Op) Format {
+	switch op {
+	case NOP, HALT:
+		return FormatNone
+	case ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU:
+		return FormatRRR
+	case ADDI, ANDI, ORI, XORI, SLTI:
+		return FormatRRI
+	case MOVI, LUI:
+		return FormatRI
+	case LW, SW:
+		return FormatMem
+	case BEQ, BNE, BLT, BGE:
+		return FormatBranch
+	case JAL:
+		return FormatJal
+	case JALR:
+		return FormatJalr
+	case JMP, LDRRM, LDRRM2, MTPSW, FAULT:
+		return FormatR1
+	case RDRRM, MFPSW:
+		return FormatRD
+	case FF1:
+		return FormatRR
+	}
+	return FormatNone
+}
+
+// Instr is a decoded instruction. Rd, Rs1, Rs2 are the raw
+// (context-relative) operand fields; relocation happens in the
+// machine's decode stage, not here.
+type Instr struct {
+	Op  Op
+	Rd  int
+	Rs1 int
+	Rs2 int
+	// Imm is the sign-extended immediate: imm8 for R-type encodings,
+	// imm14 for I-type, imm20 (unsigned, shifted at execute) for LUI.
+	Imm int32
+}
+
+// Word is a raw 32-bit instruction encoding.
+type Word uint32
+
+const (
+	opShift  = 26
+	rdShift  = 20
+	rs1Shift = 14
+	rs2Shift = 8
+	fieldMax = 1<<OperandBits - 1
+)
+
+// Encode packs an instruction into its 32-bit encoding. It panics on
+// out-of-range fields; the assembler validates user input before
+// calling it.
+func Encode(in Instr) Word {
+	if in.Op >= numOps {
+		panic(fmt.Sprintf("isa: invalid opcode %d", in.Op))
+	}
+	checkField := func(name string, v int) {
+		if v < 0 || v > fieldMax {
+			panic(fmt.Sprintf("isa: %s operand %d out of range [0,%d]", name, v, fieldMax))
+		}
+	}
+	checkField("rd", in.Rd)
+	checkField("rs1", in.Rs1)
+	checkField("rs2", in.Rs2)
+
+	w := Word(in.Op) << opShift
+	switch FormatOf(in.Op) {
+	case FormatRI:
+		if in.Op == LUI {
+			if in.Imm < 0 || in.Imm >= 1<<20 {
+				panic(fmt.Sprintf("isa: lui immediate %d out of range", in.Imm))
+			}
+			return w | Word(in.Rd)<<rdShift | Word(in.Imm)&(1<<20-1)
+		}
+		fallthrough
+	case FormatRRI, FormatMem, FormatBranch, FormatJal:
+		if in.Imm < -(1<<13) || in.Imm >= 1<<13 {
+			panic(fmt.Sprintf("isa: imm14 %d out of range", in.Imm))
+		}
+		return w | Word(in.Rd)<<rdShift | Word(in.Rs1)<<rs1Shift | Word(uint32(in.Imm)&(1<<14-1))
+	default:
+		if in.Imm < -(1<<7) || in.Imm >= 1<<7 {
+			panic(fmt.Sprintf("isa: imm8 %d out of range", in.Imm))
+		}
+		return w | Word(in.Rd)<<rdShift | Word(in.Rs1)<<rs1Shift | Word(in.Rs2)<<rs2Shift | Word(uint32(in.Imm)&0xff)
+	}
+}
+
+// Decode unpacks a 32-bit encoding. All three operand fields are always
+// extracted (fixed-field decoding); the immediate is selected by the
+// opcode's format.
+func Decode(w Word) Instr {
+	in := Instr{
+		Op:  Op(w >> opShift),
+		Rd:  int(w >> rdShift & fieldMax),
+		Rs1: int(w >> rs1Shift & fieldMax),
+		Rs2: int(w >> rs2Shift & fieldMax),
+	}
+	switch FormatOf(in.Op) {
+	case FormatRI:
+		if in.Op == LUI {
+			in.Imm = int32(w & (1<<20 - 1))
+			return in
+		}
+		fallthrough
+	case FormatRRI, FormatMem, FormatBranch, FormatJal:
+		in.Imm = int32(w&(1<<14-1)) << 18 >> 18 // sign-extend 14 bits
+	default:
+		in.Imm = int32(w&0xff) << 24 >> 24 // sign-extend 8 bits
+	}
+	return in
+}
+
+// Disassemble renders an instruction in assembler syntax.
+func Disassemble(in Instr) string {
+	switch FormatOf(in.Op) {
+	case FormatNone:
+		return in.Op.String()
+	case FormatRRR:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case FormatRRI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case FormatRI:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, in.Imm)
+	case FormatMem:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case FormatBranch:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case FormatJal:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, in.Imm)
+	case FormatJalr:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Rd, in.Rs1)
+	case FormatR1:
+		return fmt.Sprintf("%s r%d", in.Op, in.Rs1)
+	case FormatRD:
+		return fmt.Sprintf("%s r%d", in.Op, in.Rd)
+	case FormatRR:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Rd, in.Rs1)
+	}
+	return in.Op.String()
+}
+
+// RegisterFields returns which of the instruction's operand fields are
+// semantically live, as (usesRd, usesRs1, usesRs2), plus whether rd is
+// written (vs read, as in sw/branches). The static context-boundary
+// checker uses this to know which relocated fields matter.
+func RegisterFields(op Op) (usesRd, usesRs1, usesRs2, writesRd bool) {
+	switch FormatOf(op) {
+	case FormatRRR:
+		return true, true, true, true
+	case FormatRRI, FormatJalr:
+		return true, true, false, true
+	case FormatRI, FormatJal:
+		return true, false, false, true
+	case FormatMem:
+		return true, true, false, op == LW
+	case FormatBranch:
+		return true, true, false, false
+	case FormatR1:
+		return false, true, false, false
+	case FormatRD:
+		return true, false, false, true
+	case FormatRR:
+		return true, true, false, true
+	}
+	return false, false, false, false
+}

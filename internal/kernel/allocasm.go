@@ -1,0 +1,155 @@
+package kernel
+
+import "fmt"
+
+// This file implements the paper's Appendix A context allocation
+// routines in actual assembly for the machine simulator, so their
+// cycle costs (≈25 to allocate, ≈15 to fail, <5 to deallocate) are
+// measured rather than assumed.
+//
+// Register conventions for the allocator routines (they run in the
+// scheduler's context; all scratch registers are caller-saved):
+//
+//	r7  = thread descriptor pointer (word address)
+//	r8  = result: 1 = SUCCESS, 0 = FAILURE; on success also see the
+//	      descriptor fields below
+//	r14 = address of the AllocMap global (a dedicated scheduler
+//	      register, like the paper's in-memory AllocMap)
+//	r15 = return address
+//
+// Thread descriptor layout (word offsets):
+//
+//	0: rrm        — the register relocation mask for the context
+//	1: allocMask  — the chunk bitmap covered by the context
+const (
+	// ThreadRRMOff and ThreadMaskOff are the descriptor field offsets.
+	ThreadRRMOff  = 0
+	ThreadMaskOff = 1
+	// GlobalAllocMap is the word address of the allocation bitmap: one
+	// 32-bit word, bit i = chunk i of 4 registers free, as in Appendix A
+	// (128 registers = 32 chunks).
+	GlobalAllocMap = 12
+)
+
+// AllocASMSource returns the assembly for ContextAlloc64,
+// ContextAlloc16, and ContextDealloc, directly transcribed from the
+// paper's Appendix A C code.
+func AllocASMSource() string {
+	return fmt.Sprintf(`
+	| Appendix A: ContextDealloc — AllocMap |= t->allocMask.
+	| "general-purpose deallocation requires fewer than 5 RISC cycles":
+	| the 4-instruction body below, plus the return jump.
+ctx_dealloc:
+	lw r4, 0(r14)         | AllocMap
+	lw r5, %[1]d(r7)      | t->allocMask
+	or r4, r4, r5
+	sw r4, 0(r14)
+	jmp r15
+
+	| Appendix A: ContextAlloc64 — allocate 64 registers (16 chunks)
+	| by linear search over the two halfword positions.
+ctx_alloc64:
+	lw r4, 0(r14)         | AllocMap
+	li r5, 0xffff
+	and r6, r4, r5        | tempMap = AllocMap & 0xffff
+	bne r6, r5, alloc64_high
+	| success in the low halfword: AllocMap &= ~0xffff
+	movi r9, -1
+	xor r9, r5, r9        | ~0xffff
+	and r4, r4, r9
+	sw r4, 0(r14)
+	movi r9, 0
+	sw r9, %[2]d(r7)      | t->rrm = 0
+	sw r5, %[1]d(r7)      | t->allocMask = 0xffff
+	movi r8, 1            | SUCCESS
+	jmp r15
+alloc64_high:
+	movi r9, 16
+	srl r6, r4, r9        | tempMap = AllocMap >> 16
+	bne r6, r5, alloc64_fail
+	and r4, r4, r5        | AllocMap &= 0xffff
+	sw r4, 0(r14)
+	movi r9, 64
+	sw r9, %[2]d(r7)      | t->rrm = 16 << 2
+	movi r9, 16
+	sll r5, r5, r9        | allocMask = 0xffff << 16
+	sw r5, %[1]d(r7)
+	movi r8, 1
+	jmp r15
+alloc64_fail:
+	movi r8, 0            | FAILURE
+	jmp r15
+
+	| Appendix A: ContextAlloc16 — allocate 16 registers (4 chunks)
+	| using the bit-parallel prefix scan and binary search.
+ctx_alloc16:
+	lw r4, 0(r14)         | AllocMap
+	movi r9, 1
+	srl r5, r4, r9
+	and r5, r4, r5        | tempMap = AllocMap & (AllocMap >> 1)
+	movi r9, 2
+	srl r6, r5, r9
+	and r5, r5, r6        | tempMap &= tempMap >> 2
+	li r6, 0x11111111
+	and r5, r5, r6        | mask out unaligned bits
+	movi r9, 0
+	bne r5, r9, alloc16_found
+	movi r8, 0            | fail quickly
+	jmp r15
+alloc16_found:
+	movi r8, 0            | rrm = 0
+	li r6, 0xffff
+	and r10, r5, r6
+	bne r10, r9, alloc16_q8
+	movi r11, 16
+	or r8, r8, r11        | rrm |= 16
+	srl r5, r5, r11       | tempMap >>= 16
+alloc16_q8:
+	movi r6, 0xff
+	and r10, r5, r6
+	bne r10, r9, alloc16_q4
+	movi r11, 8
+	or r8, r8, r11        | rrm |= 8
+	srl r5, r5, r11
+alloc16_q4:
+	movi r6, 0xf
+	and r10, r5, r6
+	bne r10, r9, alloc16_commit
+	movi r11, 4
+	or r8, r8, r11        | rrm |= 4
+alloc16_commit:
+	movi r6, 0xf
+	sll r6, r6, r8        | tempMap = 0xf << rrm
+	movi r10, -1
+	xor r10, r6, r10
+	and r4, r4, r10       | AllocMap &= ~tempMap
+	sw r4, 0(r14)
+	movi r10, 2
+	sll r10, r8, r10
+	sw r10, %[2]d(r7)     | t->rrm = rrm << 2
+	sw r6, %[1]d(r7)      | t->allocMask = tempMap
+	movi r8, 1            | SUCCESS
+	jmp r15
+
+	| Footnote 2: with a find-first-set instruction (the MC88000's FF1)
+	| the binary search collapses to one instruction and "allocation can
+	| be performed in approximately 15 RISC cycles".
+ctx_alloc16_ff1:
+	lw r4, 0(r14)         | AllocMap
+	movi r9, 1
+	srl r5, r4, r9
+	and r5, r4, r5        | prefix scan, as above
+	movi r9, 2
+	srl r6, r5, r9
+	and r5, r5, r6
+	li r6, 0x11111111
+	and r5, r5, r6
+	ff1 r8, r5            | rrm = lowest free aligned chunk, or -1
+	movi r9, 0
+	blt r8, r9, alloc16_ff1_fail
+	beq r9, r9, alloc16_commit
+alloc16_ff1_fail:
+	movi r8, 0            | FAILURE
+	jmp r15
+`, ThreadMaskOff, ThreadRRMOff)
+}

@@ -1,0 +1,272 @@
+package kernel
+
+import (
+	"testing"
+
+	"regreloc/internal/asm"
+	"regreloc/internal/bitmap"
+	"regreloc/internal/machine"
+	"regreloc/internal/rng"
+)
+
+// allocMachine assembles the Appendix A routines plus a driver that
+// calls one routine and halts, and returns the loaded machine with the
+// routine's entry address.
+type allocMachine struct {
+	m       *machine.Machine
+	prog    *asm.Program
+	tdesc   int // thread descriptor address
+	retAddr int
+}
+
+func newAllocMachine(t *testing.T, initialMap uint32) *allocMachine {
+	t.Helper()
+	// Code sits at RuntimeBase, above the globals (GlobalAllocMap is a
+	// low-memory word), matching the kernel's real layout.
+	src := ".org 32\n" + AllocASMSource() + `
+	driver_ret:
+		halt
+	`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Config{Registers: 128})
+	m.Load(prog, 0)
+	const tdesc = 1000
+	m.Mem[GlobalAllocMap] = initialMap
+	m.RF.Write(14, GlobalAllocMap)                     // r14 = &AllocMap
+	m.RF.Write(7, tdesc)                               // r7 = thread descriptor
+	m.RF.Write(15, uint32(prog.Symbols["driver_ret"])) // r15 = return
+	return &allocMachine{m: m, prog: prog, tdesc: tdesc}
+}
+
+// call runs the named routine to completion and returns (result,
+// cycles). The driver's halt is excluded from the cycle count: it
+// stands in for the scheduler code the routine returns to.
+func (am *allocMachine) call(t *testing.T, routine string) (uint32, int64) {
+	t.Helper()
+	am.m.PC = am.prog.Symbols[routine]
+	start := am.m.Cycles()
+	if err := am.m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	return am.m.RF.Read(8), am.m.Cycles() - start - 1
+}
+
+func (am *allocMachine) allocMap() uint32 { return am.m.Mem[GlobalAllocMap] }
+func (am *allocMachine) rrm() uint32      { return am.m.Mem[am.tdesc+ThreadRRMOff] }
+func (am *allocMachine) mask() uint32     { return am.m.Mem[am.tdesc+ThreadMaskOff] }
+
+func TestAlloc64ASMLowHalf(t *testing.T) {
+	am := newAllocMachine(t, 0xffffffff)
+	res, cycles := am.call(t, "ctx_alloc64")
+	if res != 1 {
+		t.Fatal("allocation failed on a full map")
+	}
+	if am.allocMap() != 0xffff0000 {
+		t.Errorf("AllocMap = %#x", am.allocMap())
+	}
+	if am.rrm() != 0 || am.mask() != 0xffff {
+		t.Errorf("rrm=%d mask=%#x", am.rrm(), am.mask())
+	}
+	// Paper: "general-purpose allocation executes in approximately 25
+	// RISC cycles" — alloc64's linear search is the cheap case.
+	if cycles > 25 {
+		t.Errorf("alloc64 low-half took %d cycles", cycles)
+	}
+}
+
+func TestAlloc64ASMHighHalf(t *testing.T) {
+	am := newAllocMachine(t, 0xffff0000)
+	res, cycles := am.call(t, "ctx_alloc64")
+	if res != 1 {
+		t.Fatal("allocation failed")
+	}
+	if am.allocMap() != 0 {
+		t.Errorf("AllocMap = %#x", am.allocMap())
+	}
+	if am.rrm() != 64 || am.mask() != 0xffff0000 {
+		t.Errorf("rrm=%d mask=%#x", am.rrm(), am.mask())
+	}
+	if cycles > 30 {
+		t.Errorf("alloc64 high-half took %d cycles", cycles)
+	}
+}
+
+func TestAlloc64ASMFail(t *testing.T) {
+	// Fragmented: 16 free chunks but no aligned halfword.
+	am := newAllocMachine(t, 0x00ffff00)
+	res, cycles := am.call(t, "ctx_alloc64")
+	if res != 0 {
+		t.Fatal("allocation succeeded on fragmented map")
+	}
+	if am.allocMap() != 0x00ffff00 {
+		t.Error("failed allocation mutated the map")
+	}
+	// Paper: "unsuccessful context allocation was charged 15 cycles".
+	if cycles > 15 {
+		t.Errorf("alloc64 failure took %d cycles", cycles)
+	}
+}
+
+func TestAlloc16ASMSuccess(t *testing.T) {
+	am := newAllocMachine(t, 0xffffffff)
+	res, cycles := am.call(t, "ctx_alloc16")
+	if res != 1 {
+		t.Fatal("allocation failed on full map")
+	}
+	if am.rrm() != 0 || am.mask() != 0xf {
+		t.Errorf("rrm=%d mask=%#x", am.rrm(), am.mask())
+	}
+	if am.allocMap() != 0xfffffff0 {
+		t.Errorf("AllocMap = %#x", am.allocMap())
+	}
+	// Paper: ~25 cycles for general-purpose allocation; the binary
+	// search path costs a few more when it must skip empty halves.
+	if cycles < 20 || cycles > 35 {
+		t.Errorf("alloc16 took %d cycles, expected ~25", cycles)
+	}
+}
+
+func TestAlloc16ASMBinarySearchPath(t *testing.T) {
+	// Only chunks 20-23 free: rrm must come out 20, exercising the
+	// 16-then-4 search steps.
+	am := newAllocMachine(t, 0xf<<20)
+	res, cycles := am.call(t, "ctx_alloc16")
+	if res != 1 {
+		t.Fatal("allocation failed")
+	}
+	if am.rrm() != 80 { // chunk 20 * 4 registers
+		t.Errorf("rrm = %d want 80", am.rrm())
+	}
+	if am.allocMap() != 0 {
+		t.Errorf("AllocMap = %#x", am.allocMap())
+	}
+	if cycles > 40 {
+		t.Errorf("deep search took %d cycles", cycles)
+	}
+}
+
+func TestAlloc16ASMFailFast(t *testing.T) {
+	// Free chunks exist but no aligned block of 4: the prefix scan
+	// must "fail quickly".
+	am := newAllocMachine(t, 0x22222222)
+	res, cycles := am.call(t, "ctx_alloc16")
+	if res != 0 {
+		t.Fatal("allocation succeeded without an aligned block")
+	}
+	if cycles > 15 {
+		t.Errorf("fail-fast took %d cycles (paper charges 15)", cycles)
+	}
+}
+
+func TestDeallocASM(t *testing.T) {
+	am := newAllocMachine(t, 0xfffffff0)
+	// Descriptor says this thread held chunks 0-3.
+	am.m.Mem[am.tdesc+ThreadMaskOff] = 0xf
+	_, cycles := am.call(t, "ctx_dealloc")
+	if am.allocMap() != 0xffffffff {
+		t.Errorf("AllocMap = %#x after dealloc", am.allocMap())
+	}
+	// Paper: "fewer than 5 RISC cycles" for the body; our measurement
+	// includes the return jump.
+	if cycles > 5 {
+		t.Errorf("dealloc took %d cycles", cycles)
+	}
+}
+
+func TestAlloc16ASMAgreesWithGoAllocator(t *testing.T) {
+	// Property: starting from random maps, the assembly routine and
+	// the Go bitmap package agree on the chosen block (lowest aligned
+	// free 4-chunk block) and the updated map.
+	src := rng.New(77)
+	for trial := 0; trial < 300; trial++ {
+		raw := uint32(src.Uint64())
+		am := newAllocMachine(t, raw)
+		res, _ := am.call(t, "ctx_alloc16")
+
+		chunk, _ := bitmap.Word(raw).FindAlignedBinary(4, 32)
+		if chunk < 0 {
+			if res != 0 {
+				t.Fatalf("map %#x: asm allocated, Go says impossible", raw)
+			}
+			continue
+		}
+		if res != 1 {
+			t.Fatalf("map %#x: asm failed, Go allocates chunk %d", raw, chunk)
+		}
+		if int(am.rrm()) != chunk*4 {
+			t.Fatalf("map %#x: asm rrm %d, Go chunk %d (rrm %d)", raw, am.rrm(), chunk, chunk*4)
+		}
+		wantMap := uint32(bitmap.Word(raw).ClearBlock(chunk, 4))
+		if am.allocMap() != wantMap {
+			t.Fatalf("map %#x: asm map %#x, Go map %#x", raw, am.allocMap(), wantMap)
+		}
+	}
+}
+
+func TestAllocDeallocASMRoundTrip(t *testing.T) {
+	// Allocate then deallocate restores the exact map.
+	am := newAllocMachine(t, 0xffffffff)
+	if res, _ := am.call(t, "ctx_alloc16"); res != 1 {
+		t.Fatal("alloc failed")
+	}
+	// Reset the machine's halt latch by reconstructing the driver state.
+	am2 := newAllocMachine(t, am.allocMap())
+	am2.m.Mem[am2.tdesc+ThreadMaskOff] = am.mask()
+	am2.call(t, "ctx_dealloc")
+	if am2.allocMap() != 0xffffffff {
+		t.Errorf("round trip left map %#x", am2.allocMap())
+	}
+}
+
+func TestAlloc16FF1MatchesBinarySearch(t *testing.T) {
+	// Footnote 2: the FF1 variant must compute identical results to the
+	// binary-search routine on every map, while saving the search steps.
+	src := rng.New(101)
+	for trial := 0; trial < 200; trial++ {
+		raw := uint32(src.Uint64())
+		a := newAllocMachine(t, raw)
+		resA, cyclesA := a.call(t, "ctx_alloc16")
+		b := newAllocMachine(t, raw)
+		resB, cyclesB := b.call(t, "ctx_alloc16_ff1")
+		if resA != resB {
+			t.Fatalf("map %#x: binary %d vs ff1 %d", raw, resA, resB)
+		}
+		if resA == 1 {
+			if a.rrm() != b.rrm() || a.allocMap() != b.allocMap() || a.mask() != b.mask() {
+				t.Fatalf("map %#x: results differ (rrm %d/%d, map %#x/%#x)",
+					raw, a.rrm(), b.rrm(), a.allocMap(), b.allocMap())
+			}
+			if cyclesB >= cyclesA {
+				t.Fatalf("map %#x: ff1 (%d cycles) not cheaper than binary search (%d)",
+					raw, cyclesB, cyclesA)
+			}
+		}
+	}
+}
+
+func TestAlloc16FF1Cost(t *testing.T) {
+	// "Approximately 15 RISC cycles" with FF1. Our ISA has no large
+	// immediates in ALU ops, so ~9 cycles go to materializing mask
+	// constants the MC88000 would fold or keep resident; measured 26
+	// total, 9 fewer than the binary-search path.
+	am := newAllocMachine(t, 0xffffffff)
+	res, cycles := am.call(t, "ctx_alloc16_ff1")
+	if res != 1 {
+		t.Fatal("allocation failed")
+	}
+	if cycles > 26 {
+		t.Errorf("ff1 allocation took %d cycles, want ~15 + constant setup", cycles)
+	}
+	// Fail path stays within the 15-cycle failure charge.
+	am2 := newAllocMachine(t, 0x22222222)
+	res, cycles = am2.call(t, "ctx_alloc16_ff1")
+	if res != 0 {
+		t.Fatal("allocation succeeded without an aligned block")
+	}
+	if cycles > 15 {
+		t.Errorf("ff1 failure took %d cycles", cycles)
+	}
+}

@@ -1,0 +1,20 @@
+package network
+
+import "testing"
+
+func BenchmarkSimulate(b *testing.B) {
+	cfg := Config{Processors: 64}
+	var reqs int64
+	for i := 0; i < b.N; i++ {
+		res := Simulate(cfg, 0.01, 20_000, uint64(i+1))
+		reqs += res.Requests
+	}
+	b.ReportMetric(float64(reqs)/b.Elapsed().Seconds()/1e6, "Mreq/s")
+}
+
+func BenchmarkFixedPoint(b *testing.B) {
+	cfg := Config{Processors: 64}
+	for i := 0; i < b.N; i++ {
+		FixedPoint(cfg, 32, 8, 6, 10_000, uint64(i+1))
+	}
+}

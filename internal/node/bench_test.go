@@ -1,0 +1,32 @@
+package node
+
+import (
+	"testing"
+
+	"regreloc/internal/policy"
+	"regreloc/internal/workload"
+)
+
+func benchRun(b *testing.B, cfg Config, spec workload.Spec) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res := Run(cfg, spec, uint64(i+1))
+		cycles += res.Full.Total()
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "Mcycles/s")
+}
+
+func BenchmarkRunCacheFaults(b *testing.B) {
+	benchRun(b, FlexibleConfig(128, policy.Never{}, 6),
+		workload.CacheFaults(32, 256, workload.PaperCtxSize(), 32, 8000))
+}
+
+func BenchmarkRunSyncFaults(b *testing.B) {
+	benchRun(b, FlexibleConfig(128, policy.TwoPhase{}, 8),
+		workload.SyncFaults(32, 512, workload.PaperCtxSize(), 32, 8000))
+}
+
+func BenchmarkRunChurnRegime(b *testing.B) {
+	benchRun(b, FlexibleConfig(64, policy.TwoPhase{}, 8),
+		workload.SyncFaults(32, 2048, workload.PaperCtxSize(), 32, 4000))
+}

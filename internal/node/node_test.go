@@ -1,0 +1,329 @@
+package node
+
+import (
+	"math"
+	"testing"
+
+	"regreloc/internal/alloc"
+	"regreloc/internal/analytic"
+	"regreloc/internal/policy"
+	"regreloc/internal/rng"
+	"regreloc/internal/stats"
+	"regreloc/internal/workload"
+)
+
+func TestDeterministicRuns(t *testing.T) {
+	spec := workload.CacheFaults(32, 128, workload.PaperCtxSize(), 40, 20000)
+	cfg := FlexibleConfig(128, policy.Never{}, 6)
+	a := Run(cfg, spec, 42)
+	b := Run(cfg, spec, 42)
+	if a.Efficiency != b.Efficiency || a.Full.Total() != b.Full.Total() {
+		t.Fatalf("same seed produced different runs: %v vs %v", a.Efficiency, b.Efficiency)
+	}
+	c := Run(cfg, spec, 43)
+	if a.Full.Total() == c.Full.Total() {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestAllThreadsComplete(t *testing.T) {
+	spec := workload.CacheFaults(32, 128, workload.PaperCtxSize(), 60, 5000)
+	for _, cfg := range []Config{
+		FixedConfig(128, policy.Never{}, 6),
+		FlexibleConfig(128, policy.Never{}, 6),
+		FixedConfig(64, policy.TwoPhase{}, 8),
+		FlexibleConfig(64, policy.TwoPhase{}, 8),
+	} {
+		r := Run(cfg, spec, 7)
+		if r.Completed != 60 {
+			t.Errorf("%s: completed %d/60", cfg.Name, r.Completed)
+		}
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// Useful cycles over the whole run must equal the population's
+	// total work exactly.
+	spec := workload.SyncFaults(64, 512, workload.PaperCtxSize(), 50, 8000)
+	for _, cfg := range []Config{
+		FixedConfig(128, policy.TwoPhase{}, 8),
+		FlexibleConfig(128, policy.TwoPhase{}, 8),
+	} {
+		r := Run(cfg, spec, 11)
+		if got := r.Full.Get(stats.Useful); got != 50*8000 {
+			t.Errorf("%s: useful = %d want %d", cfg.Name, got, 50*8000)
+		}
+	}
+}
+
+func TestSaturatedEfficiencyMatchesAnalytic(t *testing.T) {
+	// Deterministic run lengths, short latency, plenty of contexts: the
+	// processor saturates at E = R/(R+S).
+	spec := workload.Spec{
+		Name:    "saturated",
+		RunLen:  rng.Constant{Value: 100},
+		Latency: rng.Constant{Value: 50},
+		CtxSize: rng.Constant{Value: 8},
+		Work:    rng.Constant{Value: 50000},
+		Threads: 40,
+	}
+	cfg := FlexibleConfig(128, policy.Never{}, 6)
+	r := Run(cfg, spec, 3)
+	want := analytic.NewParams(100, 50, 6).Saturated()
+	if math.Abs(r.Efficiency-want) > 0.03 {
+		t.Errorf("saturated efficiency = %.3f, analytic %.3f", r.Efficiency, want)
+	}
+}
+
+func TestLinearRegimeMatchesAnalytic(t *testing.T) {
+	// One resident context (F=64 fixed-32 fits 2, use C=33? no — use a
+	// register file fitting exactly 2 contexts and a long latency so
+	// the node sits deep in the linear regime: E ~ N*R/(R+L+S).
+	spec := workload.Spec{
+		Name:    "linear",
+		RunLen:  rng.Constant{Value: 50},
+		Latency: rng.Constant{Value: 2000},
+		CtxSize: rng.Constant{Value: 30},
+		Work:    rng.Constant{Value: 40000},
+		Threads: 2, // exactly the two resident contexts, no queue demand
+	}
+	cfg := FixedConfig(64, policy.Never{}, 6)
+	r := Run(cfg, spec, 5)
+	want := analytic.NewParams(50, 2000, 6).Linear(2)
+	if math.Abs(r.Efficiency-want)/want > 0.1 {
+		t.Errorf("linear-regime efficiency = %.4f, analytic %.4f", r.Efficiency, want)
+	}
+}
+
+func TestFlexibleBeatsFixedCacheFaults(t *testing.T) {
+	// The paper's central result (Figure 5): with C ~ U[6,24], register
+	// relocation outperforms fixed-32 contexts in the linear regime.
+	spec := workload.CacheFaults(16, 256, workload.PaperCtxSize(), 80, 10000)
+	fixed := Run(FixedConfig(128, policy.Never{}, 6), spec, 9)
+	flex := Run(FlexibleConfig(128, policy.Never{}, 6), spec, 9)
+	if flex.Efficiency <= fixed.Efficiency {
+		t.Errorf("flexible %.3f <= fixed %.3f", flex.Efficiency, fixed.Efficiency)
+	}
+	if flex.AvgResident <= fixed.AvgResident {
+		t.Errorf("flexible resident %.2f <= fixed %.2f", flex.AvgResident, fixed.AvgResident)
+	}
+}
+
+func TestHomogeneousC8DoublesEfficiency(t *testing.T) {
+	// Section 3.4: homogeneous small contexts give the largest gains
+	// ("a factor of two ... for many workloads"); C=8 quadruples the
+	// resident-context count, so in the deep linear regime the speedup
+	// should comfortably exceed 2.
+	spec := workload.CacheFaults(16, 1024, rng.Constant{Value: 8}, 120, 10000)
+	fixed := Run(FixedConfig(128, policy.Never{}, 6), spec, 13)
+	flex := Run(FlexibleConfig(128, policy.Never{}, 6), spec, 13)
+	speedup := flex.Efficiency / fixed.Efficiency
+	if speedup < 2 {
+		t.Errorf("homogeneous C=8 speedup = %.2fx, want >= 2x", speedup)
+	}
+}
+
+func TestFixedAllocChargesZero(t *testing.T) {
+	spec := workload.CacheFaults(32, 128, workload.PaperCtxSize(), 40, 5000)
+	r := Run(FixedConfig(128, policy.Never{}, 6), spec, 17)
+	if r.Full.Get(stats.Alloc) != 0 || r.Full.Get(stats.Dealloc) != 0 {
+		t.Errorf("fixed hardware charged alloc=%d dealloc=%d",
+			r.Full.Get(stats.Alloc), r.Full.Get(stats.Dealloc))
+	}
+	if r.Allocs == 0 {
+		t.Error("no allocations recorded at all")
+	}
+}
+
+func TestFlexibleChargesFigure4Costs(t *testing.T) {
+	spec := workload.CacheFaults(32, 128, workload.PaperCtxSize(), 40, 5000)
+	r := Run(FlexibleConfig(128, policy.Never{}, 6), spec, 17)
+	wantAlloc := 25*r.Allocs + 15*r.AllocFails
+	if got := r.Full.Get(stats.Alloc); got != wantAlloc {
+		t.Errorf("alloc cycles = %d want %d", got, wantAlloc)
+	}
+	if got := r.Full.Get(stats.Dealloc); got != 5*r.Deallocs {
+		t.Errorf("dealloc cycles = %d want %d", got, 5*r.Deallocs)
+	}
+}
+
+func TestNeverPolicyNeverUnloads(t *testing.T) {
+	spec := workload.CacheFaults(8, 2048, workload.PaperCtxSize(), 60, 4000)
+	r := Run(FlexibleConfig(64, policy.Never{}, 6), spec, 19)
+	if r.Unloads != 0 || r.Full.Get(stats.Unload) != 0 {
+		t.Errorf("never-unload run unloaded %d times", r.Unloads)
+	}
+}
+
+func TestTwoPhaseUnloadsUnderPressure(t *testing.T) {
+	// Small file, long sync latencies, short runs: the Figure 6(a)
+	// churn regime. Two-phase must unload blocked contexts to admit
+	// waiting threads.
+	spec := workload.SyncFaults(32, 4096, workload.PaperCtxSize(), 60, 4000)
+	r := Run(FlexibleConfig(64, policy.TwoPhase{}, 8), spec, 23)
+	if r.Unloads == 0 {
+		t.Error("two-phase never unloaded despite churn pressure")
+	}
+	if r.Probes == 0 {
+		t.Error("two-phase never probed")
+	}
+	if r.Full.Get(stats.Unload) == 0 || r.Full.Get(stats.Spin) == 0 {
+		t.Error("unload/spin cycles not charged")
+	}
+}
+
+func TestFlexibleBeatsFixedSyncFaults(t *testing.T) {
+	// Figure 6(b)/(c) regime: F=128, moderate latency: flexible wins.
+	spec := workload.SyncFaults(32, 1024, workload.PaperCtxSize(), 80, 8000)
+	fixed := Run(FixedConfig(128, policy.TwoPhase{}, 8), spec, 29)
+	flex := Run(FlexibleConfig(128, policy.TwoPhase{}, 8), spec, 29)
+	if flex.Efficiency <= fixed.Efficiency {
+		t.Errorf("flexible %.3f <= fixed %.3f", flex.Efficiency, fixed.Efficiency)
+	}
+}
+
+func TestLowerAllocCostHelpsChurnRegime(t *testing.T) {
+	// Section 3.3: re-running Figure 6(a) with lower allocation costs
+	// made register relocation win consistently. Verify the lookup-table
+	// allocator improves on the general-purpose one in the churn regime.
+	spec := workload.SyncFaults(32, 4096, workload.PaperCtxSize(), 60, 4000)
+	general := Run(FlexibleConfig(64, policy.TwoPhase{}, 8), spec, 31)
+	cheap := Config{
+		Name:        "flexible-lookup",
+		NewAlloc:    func() alloc.Allocator { return alloc.NewLookup(64, alloc.LookupCosts) },
+		Policy:      policy.TwoPhase{},
+		SwitchCost:  8,
+		QueueOpCost: 10,
+	}
+	cheapR := Run(cheap, spec, 31)
+	if cheapR.Efficiency < general.Efficiency {
+		t.Errorf("cheap alloc %.4f < general %.4f in churn regime",
+			cheapR.Efficiency, general.Efficiency)
+	}
+}
+
+func TestEfficiencyDecreasesWithLatency(t *testing.T) {
+	// Figures 5 and 6: for fixed R, efficiency falls as L grows once
+	// the node leaves saturation.
+	prev := 1.1
+	for _, l := range []int{64, 256, 1024, 4096} {
+		spec := workload.CacheFaults(32, l, workload.PaperCtxSize(), 60, 8000)
+		r := Run(FixedConfig(128, policy.Never{}, 6), spec, 37)
+		if r.Efficiency > prev+0.02 {
+			t.Errorf("L=%d: efficiency %.3f rose above previous %.3f", l, r.Efficiency, prev)
+		}
+		prev = r.Efficiency
+	}
+}
+
+func TestEfficiencyIncreasesWithRunLength(t *testing.T) {
+	prev := -0.1
+	for _, rl := range []int{8, 32, 128, 512} {
+		spec := workload.CacheFaults(rl, 512, workload.PaperCtxSize(), 60, 8000)
+		r := Run(FlexibleConfig(128, policy.Never{}, 6), spec, 41)
+		if r.Efficiency < prev-0.02 {
+			t.Errorf("R=%d: efficiency %.3f fell below previous %.3f", rl, r.Efficiency, prev)
+		}
+		prev = r.Efficiency
+	}
+}
+
+func TestMoreRegistersNeverHurt(t *testing.T) {
+	// Across Figure 5's panels, efficiency is non-decreasing in F.
+	spec := workload.CacheFaults(16, 512, workload.PaperCtxSize(), 80, 8000)
+	prev := -0.1
+	for _, f := range []int{64, 128, 256} {
+		r := Run(FlexibleConfig(f, policy.Never{}, 6), spec, 43)
+		if r.Efficiency < prev-0.02 {
+			t.Errorf("F=%d: efficiency %.3f fell below %.3f", f, r.Efficiency, prev)
+		}
+		prev = r.Efficiency
+	}
+}
+
+func TestResidentContextsBounded(t *testing.T) {
+	spec := workload.CacheFaults(32, 512, rng.Constant{Value: 8}, 100, 4000)
+	r := Run(FlexibleConfig(128, policy.Never{}, 6), spec, 47)
+	if r.MaxResident > 16 {
+		t.Errorf("max resident = %d, exceeds 128/8", r.MaxResident)
+	}
+	if r.AvgResident <= 0 || r.AvgResident > float64(r.MaxResident) {
+		t.Errorf("avg resident = %.2f (max %d)", r.AvgResident, r.MaxResident)
+	}
+	fixed := Run(FixedConfig(128, policy.Never{}, 6), spec, 47)
+	if fixed.MaxResident > 4 {
+		t.Errorf("fixed max resident = %d, exceeds 128/32", fixed.MaxResident)
+	}
+}
+
+func TestWindowedVsFullEfficiency(t *testing.T) {
+	spec := workload.CacheFaults(32, 256, workload.PaperCtxSize(), 60, 8000)
+	r := Run(FlexibleConfig(128, policy.Never{}, 6), spec, 53)
+	if r.Windowed.Total() >= r.Full.Total() {
+		t.Error("window did not exclude anything")
+	}
+	// The windowed efficiency excludes the drain-out tail where
+	// parallelism collapses, so it should not be materially below the
+	// full-run value.
+	if r.Efficiency < r.Full.Efficiency()-0.02 {
+		t.Errorf("windowed %.3f < full %.3f - 0.02", r.Efficiency, r.Full.Efficiency())
+	}
+}
+
+func TestIncompleteConfigPanics(t *testing.T) {
+	spec := workload.CacheFaults(32, 256, workload.PaperCtxSize(), 10, 1000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for missing allocator")
+		}
+	}()
+	Run(Config{Policy: policy.Never{}, SwitchCost: 6}, spec, 1)
+}
+
+func TestAlwaysPolicyChurns(t *testing.T) {
+	spec := workload.SyncFaults(64, 1024, workload.PaperCtxSize(), 60, 4000)
+	always := Run(FlexibleConfig(64, policy.Always{}, 8), spec, 59)
+	twoPhase := Run(FlexibleConfig(64, policy.TwoPhase{}, 8), spec, 59)
+	if always.Unloads <= twoPhase.Unloads {
+		t.Errorf("always unloads (%d) <= two-phase (%d)", always.Unloads, twoPhase.Unloads)
+	}
+}
+
+func TestDribbleUnloadHelpsChurnRegime(t *testing.T) {
+	// The dribbling-registers extension: overlapping register drains
+	// with execution removes the C-per-unload cost, which matters most
+	// in the Figure 6(a) churn regime.
+	spec := workload.SyncFaults(32, 2048, workload.PaperCtxSize(), 60, 4000)
+	base := FlexibleConfig(64, policy.TwoPhase{}, 8)
+	dribble := base
+	dribble.Name = "flexible-dribble"
+	dribble.DribbleUnload = true
+	plain := Run(base, spec, 61)
+	drib := Run(dribble, spec, 61)
+	if drib.Efficiency <= plain.Efficiency {
+		t.Errorf("dribble %.3f <= plain %.3f", drib.Efficiency, plain.Efficiency)
+	}
+	// Unload cycles drop to the fixed overhead per unload.
+	if drib.Unloads > 0 {
+		perUnload := float64(drib.Full.Get(stats.Unload)) / float64(drib.Unloads)
+		if perUnload != 10 {
+			t.Errorf("dribbled unload cost = %.1f cycles, want 10", perUnload)
+		}
+	}
+}
+
+func TestDribbleOrthogonalToArchitecture(t *testing.T) {
+	// The paper: "the dribbling registers idea is completely orthogonal
+	// to the register relocation mechanism" — it helps the fixed
+	// baseline too, without changing who wins at moderate latencies.
+	spec := workload.SyncFaults(32, 512, workload.PaperCtxSize(), 60, 4000)
+	fx := FixedConfig(128, policy.TwoPhase{}, 8)
+	fx.DribbleUnload = true
+	fl := FlexibleConfig(128, policy.TwoPhase{}, 8)
+	fl.DribbleUnload = true
+	fixed := Run(fx, spec, 67)
+	flex := Run(fl, spec, 67)
+	if flex.Efficiency <= fixed.Efficiency {
+		t.Errorf("with dribbling: flexible %.3f <= fixed %.3f", flex.Efficiency, fixed.Efficiency)
+	}
+}

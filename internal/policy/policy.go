@@ -1,0 +1,58 @@
+// Package policy implements thread unloading policies. The paper's
+// synchronization experiments (Section 3.3) use a competitive
+// two-phase algorithm (citing Lim & Agarwal): a blocked context is
+// polled until the cycles wasted polling it equal the cost of
+// unloading and blocking it, then it is unloaded. The cache-fault
+// experiments (Section 3.2) never unload, "to avoid effects due to the
+// selection of a particular thread unloading policy".
+package policy
+
+import "regreloc/internal/thread"
+
+// Unload decides whether a blocked resident thread should now be
+// unloaded. The node simulator consults it whenever it probes a
+// blocked context.
+type Unload interface {
+	// ShouldUnload reports whether t (blocked, resident) should be
+	// unloaded, given the accumulated polling cost recorded on the
+	// thread.
+	ShouldUnload(t *thread.Thread) bool
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// Never keeps every context resident forever (Section 3.2).
+type Never struct{}
+
+// ShouldUnload implements Unload: always false.
+func (Never) ShouldUnload(*thread.Thread) bool { return false }
+
+// Name implements Unload.
+func (Never) Name() string { return "never" }
+
+// TwoPhase is the competitive two-phase algorithm (Section 3.3): a
+// context is unloaded once the cost of repeated unsuccessful attempts
+// to continue execution equals the cost of unloading and blocking it.
+// The unload cost depends on the thread's register requirement C
+// (Section 2.5), so larger contexts are polled longer before eviction
+// — exactly the classic competitive ski-rental threshold.
+type TwoPhase struct{}
+
+// ShouldUnload implements Unload.
+func (TwoPhase) ShouldUnload(t *thread.Thread) bool {
+	return t.PollCost >= t.UnloadCost()
+}
+
+// Name implements Unload.
+func (TwoPhase) Name() string { return "two-phase" }
+
+// Always unloads a blocked context at the first probe — an ablation
+// extreme that maximizes register availability at maximum load/unload
+// churn.
+type Always struct{}
+
+// ShouldUnload implements Unload: true on any probe.
+func (Always) ShouldUnload(*thread.Thread) bool { return true }
+
+// Name implements Unload.
+func (Always) Name() string { return "always" }

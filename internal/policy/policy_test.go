@@ -1,0 +1,112 @@
+package policy
+
+import (
+	"testing"
+
+	"regreloc/internal/rng"
+	"regreloc/internal/thread"
+)
+
+func TestNever(t *testing.T) {
+	th := thread.New(0, 8, 100)
+	th.PollCost = 1 << 40
+	if (Never{}).ShouldUnload(th) {
+		t.Error("Never unloaded a thread")
+	}
+	if (Never{}).Name() != "never" {
+		t.Error("name")
+	}
+}
+
+func TestAlways(t *testing.T) {
+	th := thread.New(0, 8, 100)
+	if !(Always{}).ShouldUnload(th) {
+		t.Error("Always kept a thread")
+	}
+	if (Always{}).Name() != "always" {
+		t.Error("name")
+	}
+}
+
+func TestTwoPhaseThreshold(t *testing.T) {
+	// Competitive rule: unload once polling cost reaches the unload
+	// cost C + 10.
+	th := thread.New(0, 14, 100) // unload cost 24
+	p := TwoPhase{}
+	th.PollCost = 23
+	if p.ShouldUnload(th) {
+		t.Error("unloaded below threshold")
+	}
+	th.PollCost = 24
+	if !p.ShouldUnload(th) {
+		t.Error("kept at threshold")
+	}
+	if p.Name() != "two-phase" {
+		t.Error("name")
+	}
+}
+
+func TestTwoPhaseLargerContextsPolledLonger(t *testing.T) {
+	// A thread with more registers has a higher eviction threshold —
+	// the ski-rental constant scales with its unload cost.
+	small := thread.New(0, 6, 100)
+	large := thread.New(1, 24, 100)
+	p := TwoPhase{}
+	small.PollCost, large.PollCost = 16, 16
+	if !p.ShouldUnload(small) {
+		t.Error("small context not unloaded at its threshold")
+	}
+	if p.ShouldUnload(large) {
+		t.Error("large context unloaded before its threshold")
+	}
+}
+
+func TestTwoPhaseCompetitiveRatio(t *testing.T) {
+	// The classic ski-rental guarantee, in the paper's cost model
+	// ("the cost of repeated, unsuccessful attempts to continue
+	// execution equals the cost of unloading and blocking the
+	// context"): for any fault latency, polling until the accumulated
+	// cost reaches the unload cost and then evicting pays at most
+	// twice the offline optimum, which knows the latency and either
+	// waits it out or blocks immediately. Reload costs are paid by
+	// every evicting strategy alike and are excluded on both sides.
+	src := rng.New(99)
+	p := TwoPhase{}
+	const probeCost = 8
+	for trial := 0; trial < 2000; trial++ {
+		th := thread.New(0, src.IntRange(6, 24), 100)
+		unloadCost := th.UnloadCost()
+		latency := int64(src.IntRange(1, 4000))
+
+		// Online: probe every probeCost cycles of wasted time.
+		var online int64
+		waited := int64(0)
+		for {
+			if waited >= latency {
+				// Fault completed before eviction: cost = polls so far.
+				break
+			}
+			if p.ShouldUnload(th) {
+				online += unloadCost
+				break
+			}
+			th.PollCost += probeCost
+			online += probeCost
+			waited += probeCost
+		}
+
+		// Offline optimum: wait out the fault (paying the covering
+		// polls) or block immediately, whichever is cheaper.
+		waitCost := (latency + probeCost - 1) / probeCost * probeCost
+		optimal := waitCost
+		if unloadCost < optimal {
+			optimal = unloadCost
+		}
+
+		// 2x plus one probe of discretization slack.
+		if online > 2*optimal+probeCost {
+			t.Fatalf("trial %d (C=%d, latency=%d): online %d > 2x optimal %d",
+				trial, th.Regs, latency, online, optimal)
+		}
+	}
+}

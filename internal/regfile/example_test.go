@@ -1,0 +1,29 @@
+package regfile_test
+
+import (
+	"fmt"
+
+	"regreloc/internal/regfile"
+)
+
+// Figure 1(a): 128 registers, a context of size 8 allocated at base
+// 40; context-relative register 5 relocates to absolute register 45.
+func ExampleFile_Relocate() {
+	f := regfile.New(128, regfile.ModeOR)
+	f.SetRRM(40)
+	abs, _ := f.Relocate(5, 5)
+	fmt.Println("absolute register:", abs)
+	// Output: absolute register: 45
+}
+
+// Section 5.3: two active relocation masks; the operand high bit
+// selects the second context, enabling inter-context operations.
+func ExampleFile_SetRRM2() {
+	f := regfile.New(128, regfile.ModeOR)
+	f.SetMultiRRM(true)
+	f.SetRRM2(32 | 64<<7)       // RRM0 = 32, RRM1 = 64 (7-bit masks)
+	a, _ := f.Relocate(6, 6)    // c0.r6
+	b, _ := f.Relocate(32|6, 6) // c1.r6
+	fmt.Println(a, b)
+	// Output: 38 70
+}

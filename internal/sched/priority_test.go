@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"testing"
+
+	"regreloc/internal/thread"
+)
+
+func TestPriorityRingsBasics(t *testing.T) {
+	p := NewPriorityRings(3)
+	if p.Classes() != 3 || p.Len() != 0 {
+		t.Fatal("fresh scheduler wrong")
+	}
+	ths := mkThreads(4)
+	p.Add(ths[0], 2)
+	p.Add(ths[1], 0)
+	p.Add(ths[2], 0)
+	p.Add(ths[3], 1)
+	if p.Len() != 4 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	if c, ok := p.ClassOf(ths[3]); !ok || c != 1 {
+		t.Errorf("ClassOf = %d, %v", c, ok)
+	}
+}
+
+func TestHighestClassWins(t *testing.T) {
+	p := NewPriorityRings(2)
+	ths := mkThreads(3)
+	p.Add(ths[0], 1) // low priority
+	p.Add(ths[1], 0) // high
+	p.Add(ths[2], 0) // high
+	for i := 0; i < 10; i++ {
+		got := p.NextRunnable()
+		if got == ths[0] {
+			t.Fatal("low-priority thread scheduled while high-priority runnable")
+		}
+	}
+	// Round-robin within the high class: both high threads run.
+	seen := map[int]int{}
+	for i := 0; i < 10; i++ {
+		seen[p.NextRunnable().ID]++
+	}
+	if seen[ths[1].ID] != 5 || seen[ths[2].ID] != 5 {
+		t.Errorf("high-class round robin uneven: %v", seen)
+	}
+}
+
+func TestFallsToLowerClassWhenBlocked(t *testing.T) {
+	p := NewPriorityRings(2)
+	ths := mkThreads(2)
+	p.Add(ths[0], 0)
+	p.Add(ths[1], 1)
+	ths[0].State = thread.BlockedResident
+	if got := p.NextRunnable(); got != ths[1] {
+		t.Errorf("scheduler did not fall through to class 1: %v", got)
+	}
+	ths[0].State = thread.ReadyResident
+	if got := p.NextRunnable(); got != ths[0] {
+		t.Error("recovered high-priority thread not preferred")
+	}
+}
+
+func TestNextRunnableAllBlockedPriority(t *testing.T) {
+	p := NewPriorityRings(2)
+	ths := mkThreads(2)
+	p.Add(ths[0], 0)
+	p.Add(ths[1], 1)
+	ths[0].State = thread.BlockedResident
+	ths[1].State = thread.BlockedResident
+	if p.NextRunnable() != nil {
+		t.Error("all-blocked scheduler returned a thread")
+	}
+}
+
+func TestSetClassRelinks(t *testing.T) {
+	p := NewPriorityRings(2)
+	ths := mkThreads(2)
+	p.Add(ths[0], 0)
+	p.Add(ths[1], 1)
+	// Demote the high-priority thread; now the other should win.
+	p.SetClass(ths[0], 1)
+	p.SetClass(ths[1], 0)
+	if got := p.NextRunnable(); got != ths[1] {
+		t.Error("reprioritization not honored")
+	}
+	if c, _ := p.ClassOf(ths[0]); c != 1 {
+		t.Error("class bookkeeping wrong")
+	}
+}
+
+func TestPriorityRemove(t *testing.T) {
+	p := NewPriorityRings(2)
+	ths := mkThreads(2)
+	p.Add(ths[0], 0)
+	p.Add(ths[1], 1)
+	p.Remove(ths[0])
+	if p.Len() != 1 {
+		t.Fatal("remove failed")
+	}
+	if got := p.NextRunnable(); got != ths[1] {
+		t.Error("remaining thread not scheduled")
+	}
+	if _, ok := p.ClassOf(ths[0]); ok {
+		t.Error("removed thread still classed")
+	}
+}
+
+func TestThreadsOrderedByClass(t *testing.T) {
+	p := NewPriorityRings(3)
+	ths := mkThreads(3)
+	p.Add(ths[0], 2)
+	p.Add(ths[1], 0)
+	p.Add(ths[2], 1)
+	got := p.Threads()
+	if len(got) != 3 || got[0] != ths[1] || got[1] != ths[2] || got[2] != ths[0] {
+		t.Errorf("order = %v", []int{got[0].ID, got[1].ID, got[2].ID})
+	}
+}
+
+func TestPriorityPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewPriorityRings(0) },
+		func() { NewPriorityRings(1).Add(mkThreads(1)[0], 5) },
+		func() { NewPriorityRings(1).Remove(mkThreads(1)[0]) },
+		func() {
+			p := NewPriorityRings(2)
+			th := mkThreads(1)[0]
+			p.Add(th, 0)
+			p.Add(th, 1)
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,196 @@
+// Package sched provides the scheduling data structures of the paper's
+// software runtime, in the form the node simulator consumes: the
+// circular ring of resident contexts (the linked list of NextRRM masks
+// from Section 2.2, generalized to multiple priority classes) and the
+// FIFO queue of runnable-but-unloaded threads (the "local thread
+// queue" whose insert/remove operations cost 10 cycles in Figure 4).
+package sched
+
+import (
+	"fmt"
+
+	"regreloc/internal/thread"
+)
+
+// ringNode is a doubly-linked circular list node.
+type ringNode struct {
+	t          *thread.Thread
+	prev, next *ringNode
+}
+
+// Ring is the circular list of resident contexts, mirroring the
+// NextRRM chain: the scheduler's round-robin pointer advances through
+// it on every context switch. Blocked contexts remain in the ring (the
+// hardware has no idea a context is blocked; software probes them),
+// matching the switch-and-test behaviour the paper's S=8 switch cost
+// allows for.
+type Ring struct {
+	cur   *ringNode
+	size  int
+	nodes map[*thread.Thread]*ringNode
+}
+
+// NewRing returns an empty ring.
+func NewRing() *Ring {
+	return &Ring{nodes: make(map[*thread.Thread]*ringNode)}
+}
+
+// Len returns the number of resident contexts in the ring.
+func (r *Ring) Len() int { return r.size }
+
+// Add inserts t just before the current position (so a full rotation
+// visits it last), mirroring a NextRRM link splice.
+func (r *Ring) Add(t *thread.Thread) {
+	if _, dup := r.nodes[t]; dup {
+		panic(fmt.Sprintf("sched: thread %d already in ring", t.ID))
+	}
+	n := &ringNode{t: t}
+	r.nodes[t] = n
+	if r.cur == nil {
+		n.prev, n.next = n, n
+		r.cur = n
+	} else {
+		n.prev = r.cur.prev
+		n.next = r.cur
+		n.prev.next = n
+		r.cur.prev = n
+	}
+	r.size++
+}
+
+// Remove unlinks t from the ring.
+func (r *Ring) Remove(t *thread.Thread) {
+	n, ok := r.nodes[t]
+	if !ok {
+		panic(fmt.Sprintf("sched: thread %d not in ring", t.ID))
+	}
+	delete(r.nodes, t)
+	r.size--
+	if r.size == 0 {
+		r.cur = nil
+		return
+	}
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	if r.cur == n {
+		r.cur = n.next
+	}
+}
+
+// Current returns the thread at the round-robin pointer, or nil when
+// empty.
+func (r *Ring) Current() *thread.Thread {
+	if r.cur == nil {
+		return nil
+	}
+	return r.cur.t
+}
+
+// Advance moves the round-robin pointer to the next context and
+// returns its thread, or nil when empty.
+func (r *Ring) Advance() *thread.Thread {
+	if r.cur == nil {
+		return nil
+	}
+	r.cur = r.cur.next
+	return r.cur.t
+}
+
+// NextRunnable advances at most Len() positions looking for a runnable
+// (ready-resident) thread, starting with the next context. It returns
+// the thread and the number of positions advanced, or (nil, Len()) if
+// no resident context is runnable. The pointer is left on the returned
+// thread (or back where it started on failure after a full rotation).
+func (r *Ring) NextRunnable() (*thread.Thread, int) {
+	if r.cur == nil {
+		return nil, 0
+	}
+	for i := 1; i <= r.size; i++ {
+		r.cur = r.cur.next
+		if r.cur.t.Runnable() {
+			return r.cur.t, i
+		}
+	}
+	return nil, r.size
+}
+
+// Threads returns the resident threads in ring order starting at the
+// current position; for inspection and deterministic probing.
+func (r *Ring) Threads() []*thread.Thread {
+	out := make([]*thread.Thread, 0, r.size)
+	if r.cur == nil {
+		return out
+	}
+	n := r.cur
+	for i := 0; i < r.size; i++ {
+		out = append(out, n.t)
+		n = n.next
+	}
+	return out
+}
+
+// Contains reports whether t is in the ring.
+func (r *Ring) Contains(t *thread.Thread) bool {
+	_, ok := r.nodes[t]
+	return ok
+}
+
+// FIFO is the local thread queue of runnable-but-unloaded threads.
+type FIFO struct {
+	items []*thread.Thread
+}
+
+// Len returns the queue length.
+func (q *FIFO) Len() int { return len(q.items) }
+
+// Push appends t.
+func (q *FIFO) Push(t *thread.Thread) { q.items = append(q.items, t) }
+
+// Pop removes and returns the head, or nil when empty.
+func (q *FIFO) Pop() *thread.Thread {
+	if len(q.items) == 0 {
+		return nil
+	}
+	t := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return t
+}
+
+// Peek returns the head without removing it, or nil when empty.
+func (q *FIFO) Peek() *thread.Thread {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// PopFit removes and returns the first (oldest) thread satisfying fit,
+// or nil if none does. The runtime uses this for first-fit admission:
+// when the registers freed by an unload cannot hold the queue head's
+// context, a smaller queued thread can still be admitted — scheduling
+// order is under software control (Section 2.2).
+func (q *FIFO) PopFit(fit func(*thread.Thread) bool) *thread.Thread {
+	for i, t := range q.items {
+		if fit(t) {
+			copy(q.items[i:], q.items[i+1:])
+			q.items[len(q.items)-1] = nil
+			q.items = q.items[:len(q.items)-1]
+			return t
+		}
+	}
+	return nil
+}
+
+// MinRegs returns the smallest register requirement among queued
+// threads, or 0 when empty. The runtime uses it to decide whether any
+// queued thread could possibly be admitted.
+func (q *FIFO) MinRegs() int {
+	min := 0
+	for _, t := range q.items {
+		if min == 0 || t.Regs < min {
+			min = t.Regs
+		}
+	}
+	return min
+}

@@ -1,0 +1,199 @@
+package sched
+
+import (
+	"testing"
+
+	"regreloc/internal/thread"
+)
+
+func mkThreads(n int) []*thread.Thread {
+	out := make([]*thread.Thread, n)
+	for i := range out {
+		out[i] = thread.New(i, 8, 100)
+		out[i].State = thread.ReadyResident
+	}
+	return out
+}
+
+func TestRingAddAdvance(t *testing.T) {
+	r := NewRing()
+	if r.Current() != nil || r.Advance() != nil || r.Len() != 0 {
+		t.Fatal("empty ring misbehaves")
+	}
+	ths := mkThreads(3)
+	for _, th := range ths {
+		r.Add(th)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	// Ring order: starting at current, a full rotation hits all three
+	// exactly once.
+	seen := map[int]bool{r.Current().ID: true}
+	for i := 0; i < 2; i++ {
+		seen[r.Advance().ID] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("rotation visited %d distinct threads", len(seen))
+	}
+	// Fourth advance wraps to the starting thread.
+	start := r.Advance()
+	if !seen[start.ID] {
+		t.Error("wrap-around broken")
+	}
+}
+
+func TestRingRemove(t *testing.T) {
+	r := NewRing()
+	ths := mkThreads(3)
+	for _, th := range ths {
+		r.Add(th)
+	}
+	cur := r.Current()
+	r.Remove(cur)
+	if r.Len() != 2 || r.Contains(cur) {
+		t.Fatal("remove failed")
+	}
+	// Current moved to the next node.
+	if r.Current() == cur {
+		t.Error("current still points at removed node")
+	}
+	r.Remove(r.Current())
+	r.Remove(r.Current())
+	if r.Len() != 0 || r.Current() != nil {
+		t.Error("ring not empty after removing all")
+	}
+}
+
+func TestRingDuplicateAddPanics(t *testing.T) {
+	r := NewRing()
+	th := mkThreads(1)[0]
+	r.Add(th)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate add did not panic")
+		}
+	}()
+	r.Add(th)
+}
+
+func TestRingRemoveMissingPanics(t *testing.T) {
+	r := NewRing()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("remove of absent thread did not panic")
+		}
+	}()
+	r.Remove(mkThreads(1)[0])
+}
+
+func TestNextRunnableSkipsBlocked(t *testing.T) {
+	r := NewRing()
+	ths := mkThreads(4)
+	for _, th := range ths {
+		r.Add(th)
+	}
+	// Block everyone except one.
+	cur := r.Current()
+	var target *thread.Thread
+	for _, th := range ths {
+		if th != cur {
+			th.State = thread.BlockedResident
+		}
+	}
+	cur.State = thread.BlockedResident
+	target = ths[2]
+	target.State = thread.ReadyResident
+
+	got, steps := r.NextRunnable()
+	if got != target {
+		t.Fatalf("NextRunnable = thread %v", got)
+	}
+	if steps < 1 || steps > 4 {
+		t.Errorf("steps = %d", steps)
+	}
+	// Pointer now rests on the runnable thread.
+	if r.Current() != target {
+		t.Error("pointer not left on runnable thread")
+	}
+}
+
+func TestNextRunnableAllBlocked(t *testing.T) {
+	r := NewRing()
+	ths := mkThreads(3)
+	for _, th := range ths {
+		th.State = thread.BlockedResident
+		r.Add(th)
+	}
+	got, steps := r.NextRunnable()
+	if got != nil || steps != 3 {
+		t.Errorf("NextRunnable = %v, %d", got, steps)
+	}
+}
+
+func TestNextRunnableEmptyRing(t *testing.T) {
+	r := NewRing()
+	if got, steps := r.NextRunnable(); got != nil || steps != 0 {
+		t.Errorf("empty ring NextRunnable = %v, %d", got, steps)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	// Repeatedly advancing and "running" threads visits everyone
+	// equally: the core scheduling property of the NextRRM ring.
+	r := NewRing()
+	ths := mkThreads(5)
+	for _, th := range ths {
+		r.Add(th)
+	}
+	counts := make(map[int]int)
+	for i := 0; i < 5*100; i++ {
+		th, _ := r.NextRunnable()
+		counts[th.ID]++
+	}
+	for id, c := range counts {
+		if c != 100 {
+			t.Errorf("thread %d scheduled %d times, want 100", id, c)
+		}
+	}
+}
+
+func TestThreadsSnapshot(t *testing.T) {
+	r := NewRing()
+	ths := mkThreads(3)
+	for _, th := range ths {
+		r.Add(th)
+	}
+	snap := r.Threads()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot length %d", len(snap))
+	}
+	if snap[0] != r.Current() {
+		t.Error("snapshot does not start at current")
+	}
+	if NewRing().Threads() == nil {
+		t.Error("empty snapshot should be non-nil empty slice")
+	}
+}
+
+func TestFIFO(t *testing.T) {
+	var q FIFO
+	if q.Pop() != nil || q.Peek() != nil || q.Len() != 0 {
+		t.Fatal("empty FIFO misbehaves")
+	}
+	ths := mkThreads(3)
+	for _, th := range ths {
+		q.Push(th)
+	}
+	if q.Peek() != ths[0] {
+		t.Error("peek")
+	}
+	for i := 0; i < 3; i++ {
+		if got := q.Pop(); got != ths[i] {
+			t.Fatalf("pop %d = thread %v", i, got.ID)
+		}
+	}
+	if q.Len() != 0 {
+		t.Error("not empty after draining")
+	}
+}

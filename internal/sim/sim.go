@@ -1,0 +1,143 @@
+// Package sim provides a minimal discrete-event simulation kernel: a
+// cycle clock and a time-ordered event queue. It stands in for the
+// PROTEUS simulator the paper used (Brewer et al., cited as [6]): the
+// register relocation experiments only exercise PROTEUS as a
+// single-node engine that interleaves computation segments with
+// stochastic fault-completion events, which is exactly what this
+// package supports.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycles is a simulation timestamp in processor cycles.
+type Cycles = int64
+
+// Event is an entry in the queue: an opaque payload due at a time.
+type Event struct {
+	At      Cycles
+	Payload any
+
+	seq int // tie-break so equal-time events pop FIFO
+	idx int // heap index
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a discrete-event queue with a monotonic clock. The zero
+// value is ready to use at time 0.
+type Queue struct {
+	now     Cycles
+	events  eventHeap
+	nextSeq int
+}
+
+// Now returns the current simulation time.
+func (q *Queue) Now() Cycles { return q.now }
+
+// Advance moves the clock forward by d cycles. It panics on negative d
+// and on advancing past a pending event (events must be drained first;
+// use DueBy / PopDue).
+func (q *Queue) Advance(d Cycles) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative advance %d", d))
+	}
+	q.now += d
+}
+
+// AdvanceTo moves the clock to t (>= Now).
+func (q *Queue) AdvanceTo(t Cycles) {
+	if t < q.now {
+		panic(fmt.Sprintf("sim: AdvanceTo(%d) before now (%d)", t, q.now))
+	}
+	q.now = t
+}
+
+// Schedule enqueues payload to occur at absolute time at (>= Now) and
+// returns the event, which can be passed to Cancel.
+func (q *Queue) Schedule(at Cycles, payload any) *Event {
+	if at < q.now {
+		panic(fmt.Sprintf("sim: scheduling at %d in the past (now %d)", at, q.now))
+	}
+	e := &Event{At: at, Payload: payload, seq: q.nextSeq}
+	q.nextSeq++
+	heap.Push(&q.events, e)
+	return e
+}
+
+// After enqueues payload d cycles from now.
+func (q *Queue) After(d Cycles, payload any) *Event {
+	return q.Schedule(q.now+d, payload)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-popped or
+// already-cancelled event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e.idx < 0 || e.idx >= len(q.events) || q.events[e.idx] != e {
+		return
+	}
+	heap.Remove(&q.events, e.idx)
+	e.idx = -1
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.events) }
+
+// PeekTime returns the due time of the earliest pending event, or ok =
+// false if the queue is empty.
+func (q *Queue) PeekTime() (Cycles, bool) {
+	if len(q.events) == 0 {
+		return 0, false
+	}
+	return q.events[0].At, true
+}
+
+// PopDue removes and returns the earliest event if it is due at or
+// before the current time, else nil.
+func (q *Queue) PopDue() *Event {
+	if len(q.events) == 0 || q.events[0].At > q.now {
+		return nil
+	}
+	e := heap.Pop(&q.events).(*Event)
+	e.idx = -1
+	return e
+}
+
+// PopNext removes and returns the earliest event regardless of the
+// clock, advancing the clock to its time. It returns nil when empty.
+func (q *Queue) PopNext() *Event {
+	if len(q.events) == 0 {
+		return nil
+	}
+	e := heap.Pop(&q.events).(*Event)
+	e.idx = -1
+	q.now = e.At
+	return e
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var q Queue
+	if q.Now() != 0 {
+		t.Fatal("clock not at 0")
+	}
+	q.Advance(10)
+	q.AdvanceTo(25)
+	if q.Now() != 25 {
+		t.Errorf("now = %d", q.Now())
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	q.Advance(-1)
+}
+
+func TestAdvanceToPastPanics(t *testing.T) {
+	var q Queue
+	q.Advance(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	q.AdvanceTo(5)
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var q Queue
+	q.Advance(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	q.Schedule(5, nil)
+}
+
+func TestEventsPopInTimeOrder(t *testing.T) {
+	var q Queue
+	q.Schedule(30, "c")
+	q.Schedule(10, "a")
+	q.Schedule(20, "b")
+	var got []string
+	for q.Len() > 0 {
+		got = append(got, q.PopNext().Payload.(string))
+	}
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("order = %v", got)
+	}
+	if q.Now() != 30 {
+		t.Errorf("clock = %d after draining", q.Now())
+	}
+}
+
+func TestEqualTimesPopFIFO(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Schedule(5, i)
+	}
+	for i := 0; i < 10; i++ {
+		if got := q.PopNext().Payload.(int); got != i {
+			t.Fatalf("pop %d = %d", i, got)
+		}
+	}
+}
+
+func TestPopDueRespectsClock(t *testing.T) {
+	var q Queue
+	q.Schedule(10, "x")
+	if q.PopDue() != nil {
+		t.Fatal("event popped before due")
+	}
+	q.Advance(10)
+	e := q.PopDue()
+	if e == nil || e.Payload != "x" {
+		t.Fatal("due event not popped")
+	}
+	if q.PopDue() != nil {
+		t.Fatal("pop from empty")
+	}
+}
+
+func TestAfter(t *testing.T) {
+	var q Queue
+	q.Advance(100)
+	e := q.After(50, nil)
+	if e.At != 150 {
+		t.Errorf("After scheduled at %d", e.At)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	a := q.Schedule(10, "a")
+	q.Schedule(20, "b")
+	q.Cancel(a)
+	if q.Len() != 1 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	if got := q.PopNext().Payload.(string); got != "b" {
+		t.Errorf("popped %q", got)
+	}
+	// Double-cancel and cancel-after-pop are no-ops.
+	q.Cancel(a)
+	b := q.Schedule(30, "c")
+	q.PopNext()
+	q.Cancel(b)
+}
+
+func TestPeekTime(t *testing.T) {
+	var q Queue
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("peek on empty")
+	}
+	q.Schedule(42, nil)
+	if at, ok := q.PeekTime(); !ok || at != 42 {
+		t.Errorf("peek = %d, %v", at, ok)
+	}
+}
+
+func TestPopNextEmpty(t *testing.T) {
+	var q Queue
+	if q.PopNext() != nil {
+		t.Fatal("PopNext on empty queue")
+	}
+}
+
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		var q Queue
+		for _, at := range times {
+			q.Schedule(int64(at), nil)
+		}
+		last := int64(-1)
+		for q.Len() > 0 {
+			e := q.PopNext()
+			if e.At < last {
+				return false
+			}
+			last = e.At
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCancelMiddleOfHeapProperty(t *testing.T) {
+	f := func(times []uint16, cancelIdx uint8) bool {
+		if len(times) == 0 {
+			return true
+		}
+		var q Queue
+		evs := make([]*Event, len(times))
+		for i, at := range times {
+			evs[i] = q.Schedule(int64(at), i)
+		}
+		victim := int(cancelIdx) % len(evs)
+		q.Cancel(evs[victim])
+		seen := 0
+		last := int64(-1)
+		for q.Len() > 0 {
+			e := q.PopNext()
+			if e.Payload.(int) == victim || e.At < last {
+				return false
+			}
+			last = e.At
+			seen++
+		}
+		return seen == len(times)-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

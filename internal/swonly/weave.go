@@ -1,0 +1,105 @@
+package swonly
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// YieldMarker separates a software-only thread's source into segments;
+// at each marker the compile-time scheduler switches to the next
+// thread. It plays the role the LDRRM-based yield plays in the
+// hardware scheme — except here the "context switch" costs exactly one
+// always-taken branch, because register relocation happened at compile
+// time (Section 5.1).
+const YieldMarker = "%yield"
+
+// ThreadSource is one thread's code for compile-time weaving: assembly
+// written against context-relative registers r0..rSize-1, with
+// YieldMarker lines at its switch points. Loops must stay within a
+// segment (the weave is a static schedule, not a dynamic one); labels
+// must be unique across all woven threads.
+type ThreadSource struct {
+	Name string
+	Src  string
+}
+
+var regToken = regexp.MustCompile(`\br([0-9]+)\b`)
+
+// renameRegisters rewrites every register token rN to r(N+base),
+// erroring if any register reaches outside the thread's compile-time
+// context.
+func renameRegisters(src string, base, size int) (string, error) {
+	var firstErr error
+	out := regToken.ReplaceAllStringFunc(src, func(tok string) string {
+		n, _ := strconv.Atoi(tok[1:])
+		if n >= size && firstErr == nil {
+			firstErr = fmt.Errorf("swonly: register r%d exceeds compile-time context of %d registers", n, size)
+		}
+		return "r" + strconv.Itoa(n+base)
+	})
+	return out, firstErr
+}
+
+// Weave compiles several threads into ONE program for a machine with
+// no relocation hardware at all: each thread's registers are renamed
+// into its slice of the partition (compile-time relocation), and the
+// threads' segments are chained in round-robin order with always-taken
+// branches. The result runs all threads to completion, interleaved,
+// with the RRM never leaving zero.
+func Weave(threads []ThreadSource, part Partition) (string, error) {
+	if len(threads) == 0 {
+		return "", fmt.Errorf("swonly: no threads to weave")
+	}
+	if len(threads) > part.Contexts() {
+		return "", fmt.Errorf("swonly: %d threads but only %d compile-time contexts",
+			len(threads), part.Contexts())
+	}
+	// Split and rename each thread's segments.
+	segments := make([][]string, len(threads))
+	maxRounds := 0
+	for i, t := range threads {
+		renamed, err := renameRegisters(t.Src, part.Bases[i], part.Sizes[i])
+		if err != nil {
+			return "", fmt.Errorf("thread %q: %w", t.Name, err)
+		}
+		for _, seg := range strings.Split(renamed, YieldMarker) {
+			seg = strings.TrimSpace(seg)
+			segments[i] = append(segments[i], seg)
+		}
+		if len(segments[i]) > maxRounds {
+			maxRounds = len(segments[i])
+		}
+	}
+
+	// Static round-robin schedule: round r runs segment r of every
+	// thread that still has one.
+	type slot struct{ thread, seg int }
+	var schedule []slot
+	for r := 0; r < maxRounds; r++ {
+		for ti := range threads {
+			if r < len(segments[ti]) {
+				schedule = append(schedule, slot{ti, r})
+			}
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("; woven by swonly.Weave: compile-time multithreading, no LDRRM\n")
+	for k, s := range schedule {
+		fmt.Fprintf(&b, "weave_%s_%d:\n", threads[s.thread].Name, s.seg)
+		b.WriteString(segments[s.thread][s.seg])
+		b.WriteByte('\n')
+		if k+1 < len(schedule) {
+			next := schedule[k+1]
+			// The compile-time context switch: one always-taken branch
+			// (comparing a register with itself reads but never writes).
+			anchor := part.Bases[s.thread]
+			fmt.Fprintf(&b, "\tbeq r%d, r%d, weave_%s_%d\n",
+				anchor, anchor, threads[next.thread].Name, next.seg)
+		}
+	}
+	b.WriteString("\thalt\n")
+	return b.String(), nil
+}

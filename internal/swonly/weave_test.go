@@ -1,0 +1,127 @@
+package swonly
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"regreloc/internal/asm"
+	"regreloc/internal/isa"
+	"regreloc/internal/machine"
+)
+
+func counterThread(name string, rounds int) ThreadSource {
+	// Each segment adds 1 to r1; a loop inside one segment exercises
+	// intra-segment control flow.
+	seg := "\taddi r1, r1, 1\n"
+	src := seg
+	for i := 1; i < rounds; i++ {
+		src += YieldMarker + "\n" + seg
+	}
+	return ThreadSource{Name: name, Src: src}
+}
+
+func TestWeaveTwoThreads(t *testing.T) {
+	part, err := Plan(RegReloc128, []int{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Weave([]ThreadSource{counterThread("a", 4), counterThread("b", 6)}, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := asm.MustAssemble(src)
+	// No relocation hardware used: the woven binary must contain no
+	// LDRRM instructions.
+	for addr, w := range prog.Words {
+		if op := isa.Decode(w).Op; op == isa.LDRRM || op == isa.LDRRM2 {
+			t.Fatalf("woven program uses %v at %d", op, addr)
+		}
+	}
+	m := machine.New(machine.Config{Registers: 128})
+	m.Load(prog, 0)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Fatal("woven program did not halt")
+	}
+	// Thread a counted 4 in ITS r1 (absolute base+1); b counted 6.
+	if got := m.RF.Read(part.Bases[0] + 1); got != 4 {
+		t.Errorf("thread a counter = %d want 4", got)
+	}
+	if got := m.RF.Read(part.Bases[1] + 1); got != 6 {
+		t.Errorf("thread b counter = %d want 6", got)
+	}
+	// RRM never moved.
+	if m.RF.RRM() != 0 {
+		t.Errorf("RRM = %d; software-only must not touch it", m.RF.RRM())
+	}
+}
+
+func TestWeaveInterleavesFairly(t *testing.T) {
+	// Record interleaving: each segment stores a sequence stamp into a
+	// shared memory log via its own pointer register.
+	mk := func(name string, logBase int) ThreadSource {
+		seg := func() string {
+			return "\tlw r3, 8(r2)\n\taddi r3, r3, 1\n\tsw r3, 8(r2)\n\tadd r4, r2, r3\n\tsw r3, 0(r4)\n"
+		}
+		src := "\tmovi r2, " + strconv.Itoa(logBase) + "\n" + seg()
+		for i := 0; i < 2; i++ {
+			src += YieldMarker + "\n" + seg()
+		}
+		return ThreadSource{Name: name, Src: src}
+	}
+	part, err := Plan(RegReloc128, []int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Weave([]ThreadSource{mk("a", 600), mk("b", 600)}, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Config{Registers: 128})
+	m.Load(asm.MustAssemble(src), 0)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	// Both threads bumped the shared counter: 6 segments total.
+	if got := m.Mem[608]; got != 6 {
+		t.Errorf("shared counter = %d want 6", got)
+	}
+}
+
+func TestWeaveErrors(t *testing.T) {
+	part, _ := Plan(RegReloc128, []int{8, 8})
+	if _, err := Weave(nil, part); err == nil {
+		t.Error("empty weave accepted")
+	}
+	three := []ThreadSource{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+	if _, err := Weave(three, part); err == nil {
+		t.Error("more threads than contexts accepted")
+	}
+	escape := []ThreadSource{{Name: "x", Src: "addi r9, r9, 1"}}
+	if _, err := Weave(escape, part); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("register escape: %v", err)
+	}
+}
+
+func TestWeaveUnbalancedSegments(t *testing.T) {
+	// A thread that finishes early simply drops out of the rotation.
+	part, _ := Plan(RegReloc128, []int{8, 8})
+	src, err := Weave([]ThreadSource{counterThread("short", 1), counterThread("long", 5)}, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Config{Registers: 128})
+	m.Load(asm.MustAssemble(src), 0)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.RF.Read(part.Bases[0] + 1); got != 1 {
+		t.Errorf("short thread = %d", got)
+	}
+	if got := m.RF.Read(part.Bases[1] + 1); got != 5 {
+		t.Errorf("long thread = %d", got)
+	}
+}

@@ -1,0 +1,140 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"regreloc/internal/node"
+	"regreloc/internal/policy"
+	"regreloc/internal/stats"
+	. "regreloc/internal/trace"
+	"regreloc/internal/workload"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := New(0)
+	r.Record(0, 10, 1, stats.Useful)
+	r.Record(10, 5, 1, stats.Switch)
+	r.Record(15, 20, -1, stats.Idle)
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	sum := r.Summary()
+	if sum[stats.Useful] != 10 || sum[stats.Switch] != 5 || sum[stats.Idle] != 20 {
+		t.Errorf("summary = %v", sum)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, 10, 1, stats.Useful) // must not panic
+	if r.Len() != 0 || r.Events() != nil {
+		t.Error("nil recorder not empty")
+	}
+	if got := r.Timeline(0, 100, 40); !strings.Contains(got, "no trace") {
+		t.Errorf("nil timeline = %q", got)
+	}
+	if len(r.Summary()) != 0 {
+		t.Error("nil summary not empty")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Record(int64(i*10), 10, 0, stats.Useful)
+	}
+	if r.Len() != 2 {
+		t.Errorf("limit not enforced: %d events", r.Len())
+	}
+}
+
+func TestZeroDurationIgnored(t *testing.T) {
+	r := New(0)
+	r.Record(0, 0, 1, stats.Useful)
+	r.Record(0, -5, 1, stats.Useful)
+	if r.Len() != 0 {
+		t.Error("zero/negative durations recorded")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r := New(0)
+	r.Record(0, 50, 0, stats.Useful)
+	r.Record(50, 10, 0, stats.Switch)
+	r.Record(60, 40, 1, stats.Useful)
+	r.Record(0, 60, -1, stats.Idle) // overlaps, separate row
+	tl := r.Timeline(0, 100, 50)
+	lines := strings.Split(tl, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("timeline too short:\n%s", tl)
+	}
+	if !strings.Contains(tl, "cpu ") {
+		t.Error("anonymous row missing")
+	}
+	if !strings.Contains(tl, "t0  ") || !strings.Contains(tl, "t1  ") {
+		t.Error("thread rows missing")
+	}
+	if !strings.Contains(tl, "#") || !strings.Contains(tl, "s") || !strings.Contains(tl, ".") {
+		t.Errorf("glyphs missing:\n%s", tl)
+	}
+	if !strings.Contains(tl, "legend:") {
+		t.Error("legend missing")
+	}
+}
+
+func TestTimelineWindowing(t *testing.T) {
+	r := New(0)
+	r.Record(0, 100, 0, stats.Useful)
+	r.Record(100, 100, 1, stats.Spin)
+	// Window covering only the second event shows only t1.
+	tl := r.Timeline(100, 200, 20)
+	if strings.Contains(tl, "t0") {
+		t.Errorf("out-of-window thread shown:\n%s", tl)
+	}
+	if !strings.Contains(tl, "~") {
+		t.Errorf("spin glyph missing:\n%s", tl)
+	}
+}
+
+func TestGlyphs(t *testing.T) {
+	for _, a := range stats.Activities() {
+		if Glyph(a) == '?' {
+			t.Errorf("no glyph for %v", a)
+		}
+	}
+	if Glyph(stats.Activity(99)) != '?' {
+		t.Error("unknown activity should map to ?")
+	}
+}
+
+func TestNodeIntegrationSummaryMatchesAccount(t *testing.T) {
+	// The tracer's per-activity totals must agree exactly with the
+	// node's cycle account — end-to-end consistency of the simulator's
+	// two reporting paths.
+	rec := New(0)
+	cfg := node.FlexibleConfig(128, policy.TwoPhase{}, 8)
+	cfg.Tracer = rec
+	spec := workload.SyncFaults(32, 256, workload.PaperCtxSize(), 24, 4000)
+	res := node.Run(cfg, spec, 5)
+	sum := rec.Summary()
+	for _, a := range stats.Activities() {
+		want := res.Full.Get(a)
+		// Alloc/dealloc cycles are charged via the allocator's cost
+		// model, not through the traced charge path.
+		if a == stats.Alloc || a == stats.Dealloc {
+			continue
+		}
+		if sum[a] != want {
+			t.Errorf("%v: trace %d, account %d", a, sum[a], want)
+		}
+	}
+	if res.Efficiency <= 0 {
+		t.Error("simulation produced nothing")
+	}
+	// And the timeline renders.
+	tl := rec.Timeline(0, res.Full.Total()/10, 60)
+	if !strings.Contains(tl, "#") {
+		t.Errorf("no useful work in timeline:\n%s", tl)
+	}
+}
