@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench examples figures data clean
+.PHONY: all build test test-race vet bench examples figures data clean
 
-all: vet test
+all: test
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,13 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
+
+# Race-detect the concurrent experiment harness and the event queue it
+# drives.
+test-race:
+	$(GO) test -race ./internal/experiment/... ./internal/sim/...
 
 # Regenerate every paper figure/table as benchmarks (metrics carry the
 # efficiencies); mirrors the harness in bench_test.go.

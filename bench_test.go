@@ -49,6 +49,33 @@ func runPanel(b *testing.B, id, panel string) {
 	}
 }
 
+// The sweep harness itself: the full Figure 5 grid (108 simulations)
+// at reproduction scale, run sequentially vs on one worker per core.
+// Per-point seed derivation makes both produce the identical Report;
+// on a multi-core machine the parallel run should show near-linear
+// speedup (the points are independent single-node simulations).
+func benchSweepWorkers(b *testing.B, workers int) {
+	b.Helper()
+	e, ok := experiment.Get("figure5")
+	if !ok {
+		b.Fatal("figure5 not registered")
+	}
+	sc := experiment.Full
+	sc.Workers = workers
+	var points int
+	for i := 0; i < b.N; i++ {
+		r := e.Run(1, sc)
+		points = len(r.Points)
+		if points == 0 {
+			b.Fatal("empty report")
+		}
+	}
+	b.ReportMetric(float64(points)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+func BenchmarkSweepSequential(b *testing.B) { benchSweepWorkers(b, 1) }
+func BenchmarkSweepParallel(b *testing.B)   { benchSweepWorkers(b, 0) }
+
 // Figure 5: cache faults, one bench per register file size panel.
 func BenchmarkFigure5(b *testing.B) {
 	for _, f := range []int{64, 128, 256} {

@@ -6,9 +6,15 @@
 //	rrsim -experiment figure5 [-seed 1] [-scale full] [-format table]
 //	rrsim -experiment figure6 -format plot -panel F=128
 //	rrsim -experiment all -format summary
+//	rrsim -experiment figure5 -parallel 4   # bound the sweep worker pool
 //
 // Formats: table (default), plot (requires -panel or plots every
 // panel), csv, summary.
+//
+// Sweep points run concurrently on one worker per core by default;
+// -parallel bounds the pool (1 forces sequential execution). Results
+// are identical at every setting: each point's RNG stream is derived
+// from the seed and the point's coordinates, not from execution order.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"regreloc/internal/experiment"
 )
@@ -30,13 +37,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rrsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list   = fs.Bool("list", false, "list the reproducible experiments")
-		expID  = fs.String("experiment", "", "experiment to run (or \"all\")")
-		seed   = fs.Uint64("seed", 1, "simulation seed")
-		scale  = fs.String("scale", "full", "quick or full")
-		format = fs.String("format", "table", "table, plot, csv, or summary")
-		panel  = fs.String("panel", "", "panel for -format plot (e.g. F=128); empty plots all")
-		outDir = fs.String("o", "", "also write <experiment>.csv files into this directory")
+		list     = fs.Bool("list", false, "list the reproducible experiments")
+		expID    = fs.String("experiment", "", "experiment to run (or \"all\")")
+		seed     = fs.Uint64("seed", 1, "simulation seed")
+		scale    = fs.String("scale", "full", "quick or full")
+		format   = fs.String("format", "table", "table, plot, csv, or summary")
+		panel    = fs.String("panel", "", "panel for -format plot (e.g. F=128); empty plots all")
+		outDir   = fs.String("o", "", "also write <experiment>.csv files into this directory")
+		parallel = fs.Int("parallel", 0, "sweep-point workers: 0 = one per core, 1 = sequential")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -64,6 +72,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rrsim: unknown scale %q\n", *scale)
 		return 2
 	}
+	if *parallel < 0 {
+		fmt.Fprintf(stderr, "rrsim: -parallel must be >= 0, got %d\n", *parallel)
+		return 2
+	}
+	sc.Workers = *parallel
 
 	var exps []experiment.Experiment
 	if *expID == "all" {
@@ -77,8 +90,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		exps = []experiment.Experiment{e}
 	}
 
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "rrsim: creating output directory: %v\n", err)
+			return 1
+		}
+	}
+
 	for _, e := range exps {
+		// Live progress (throttled) plus a wall-time summary per
+		// experiment, both on stderr so piped output stays clean.
+		start := time.Now()
+		lastUpdate := start
+		experiment.SetProgress(func(done, total int) {
+			if time.Since(lastUpdate) < time.Second || done == total {
+				return
+			}
+			lastUpdate = time.Now()
+			fmt.Fprintf(stderr, "rrsim: %s: %d/%d points (%.1f points/s)\n",
+				e.ID, done, total, float64(done)/time.Since(start).Seconds())
+		})
 		report := e.Run(*seed, sc)
+		experiment.SetProgress(nil)
+		if secs := time.Since(start).Seconds(); len(report.Points) > 0 && secs > 0 {
+			fmt.Fprintf(stderr, "rrsim: %s: %d points in %.2fs (%.1f points/s)\n",
+				e.ID, len(report.Points), secs, float64(len(report.Points))/secs)
+		}
 		if *outDir != "" {
 			path := filepath.Join(*outDir, report.ID+".csv")
 			if err := os.WriteFile(path, []byte(experiment.CSV(report)), 0o644); err != nil {

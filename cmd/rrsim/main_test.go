@@ -57,6 +57,26 @@ func TestErrors(t *testing.T) {
 	if code := run([]string{"-experiment", "figure3", "-format", "interpretive-dance"}, &out, &errOut); code != 2 {
 		t.Errorf("bad format exit %d", code)
 	}
+	if code := run([]string{"-experiment", "figure3", "-parallel", "-1"}, &out, &errOut); code != 2 {
+		t.Errorf("negative -parallel exit %d", code)
+	}
+}
+
+func TestParallelFlag(t *testing.T) {
+	// The same experiment under different worker-pool bounds must print
+	// identical results (per-point seed derivation makes execution order
+	// irrelevant); the full determinism check lives in
+	// internal/experiment.
+	var seq, par, errOut strings.Builder
+	if code := run([]string{"-experiment", "figure4", "-scale", "quick", "-format", "csv", "-parallel", "1"}, &seq, &errOut); code != 0 {
+		t.Fatalf("sequential exit %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"-experiment", "figure4", "-scale", "quick", "-format", "csv", "-parallel", "4"}, &par, &errOut); code != 0 {
+		t.Fatalf("parallel exit %d: %s", code, errOut.String())
+	}
+	if seq.String() != par.String() {
+		t.Errorf("-parallel changed the output:\nseq:\n%s\npar:\n%s", seq.String(), par.String())
+	}
 }
 
 func TestCSVOutputDir(t *testing.T) {
@@ -72,7 +92,33 @@ func TestCSVOutputDir(t *testing.T) {
 	if !strings.HasPrefix(string(data), "experiment,panel,arch") {
 		t.Errorf("csv = %q", string(data)[:40])
 	}
-	if code := run([]string{"-experiment", "figure4", "-scale", "quick", "-o", filepath.Join(dir, "missing", "sub")}, &out, &errOut); code != 1 {
-		t.Errorf("unwritable dir exit %d", code)
+}
+
+func TestCSVOutputDirCreated(t *testing.T) {
+	// A missing -o directory (including parents) is created.
+	dir := filepath.Join(t.TempDir(), "missing", "sub")
+	var out, errOut strings.Builder
+	if code := run([]string{"-experiment", "figure4", "-scale", "quick", "-o", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figure4.csv")); err != nil {
+		t.Errorf("csv not written: %v", err)
+	}
+}
+
+func TestCSVOutputDirInvalid(t *testing.T) {
+	// An -o path routed through an existing file cannot be created; the
+	// error must surface as a non-zero exit, not a silent run.
+	dir := t.TempDir()
+	file := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-experiment", "figure4", "-scale", "quick", "-o", filepath.Join(file, "sub")}, &out, &errOut); code != 1 {
+		t.Errorf("invalid -o exit %d (stderr %q)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "output directory") {
+		t.Errorf("error not surfaced: %q", errOut.String())
 	}
 }

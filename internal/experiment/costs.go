@@ -123,16 +123,23 @@ func init() {
 				"context load/unload          C + 10 cycles (both architectures)",
 				"thread queue insert/remove   10 cycles (both architectures)",
 			)
-			for _, n := range []int{8, 16, 32} {
-				cycles, err := MeasureUnload(n)
-				if err != nil {
-					r.Notes = append(r.Notes, fmt.Sprintf("unload C=%d: measurement failed: %v", n, err))
+			// Deterministic machine executions (no RNG); run the context
+			// sizes concurrently and assemble notes/points in size order.
+			sizes := []int{8, 16, 32}
+			cycles := make([]int64, len(sizes))
+			errs := make([]error, len(sizes))
+			forEach(scale.workers(), len(sizes), func(i int) {
+				cycles[i], errs[i] = MeasureUnload(sizes[i])
+			})
+			for i, n := range sizes {
+				if errs[i] != nil {
+					r.Notes = append(r.Notes, fmt.Sprintf("unload C=%d: measurement failed: %v", n, errs[i]))
 					continue
 				}
 				r.Notes = append(r.Notes, fmt.Sprintf(
 					"ISA-measured unload of a %2d-register context: %d cycles (model charges %d)",
-					n, cycles, int64(n)+10))
-				r.Points = append(r.Points, Measurement{Panel: "unload-cycles", Arch: fmt.Sprintf("C=%d", n), Eff: float64(cycles)})
+					n, cycles[i], int64(n)+10))
+				r.Points = append(r.Points, Measurement{Panel: "unload-cycles", Arch: fmt.Sprintf("C=%d", n), Eff: float64(cycles[i])})
 			}
 			return r
 		},

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the experiment execution engine. Every experiment
+// definition reduces its work to a list of independent points (one
+// simulation cell each), and the engine runs them on a bounded worker
+// pool. Two properties make parallel runs bit-identical to sequential
+// ones:
+//
+//   - Each point carries its own RNG seed, derived (rng.DeriveSeed)
+//     from the experiment seed and the point's coordinates — never from
+//     execution order. Sweep cells are therefore also statistically
+//     independent, instead of replaying one stream per cell.
+//   - Results are written by point index and flattened in list order,
+//     so Report.Points stays panel-major regardless of worker count.
+
+// point is one schedulable measurement cell: a pre-derived seed plus
+// the function producing the cell's measurements. run must not touch
+// state shared with other points.
+type point struct {
+	seed uint64
+	run  func(seed uint64) []Measurement
+}
+
+// execute runs the points on Scale.Workers goroutines (0 = all cores)
+// and returns their measurements flattened in point order.
+func execute(scale Scale, pts []point) []Measurement {
+	results := make([][]Measurement, len(pts))
+	forEach(scale.workers(), len(pts), func(i int) {
+		results[i] = pts[i].run(pts[i].seed)
+	})
+	var out []Measurement
+	for _, ms := range results {
+		out = append(out, ms...)
+	}
+	return out
+}
+
+// forEach runs fn(0), ..., fn(n-1) on a pool of workers goroutines
+// (0 or negative = runtime.GOMAXPROCS) and reports completion counts
+// to the progress hook. Iterations must be independent: fn is called
+// concurrently with distinct arguments and must not touch shared
+// state. Heterogeneous experiments (those whose cells produce notes or
+// need error handling) use it directly with an indexed results slice;
+// grid sweeps go through execute.
+func forEach(workers, n int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+			reportProgress(i+1, n)
+		}
+		return
+	}
+	var next, done atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+				reportProgress(int(done.Add(1)), n)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+var (
+	progressMu sync.Mutex
+	progressFn func(done, total int)
+)
+
+// SetProgress installs a hook receiving (points completed, total
+// points) updates as an experiment's cells finish; nil uninstalls it.
+// Invocations are serialized even when points run concurrently, so the
+// hook needs no locking of its own. It is called inline from worker
+// goroutines and should return quickly.
+func SetProgress(fn func(done, total int)) {
+	progressMu.Lock()
+	progressFn = fn
+	progressMu.Unlock()
+}
+
+func reportProgress(done, total int) {
+	progressMu.Lock()
+	defer progressMu.Unlock()
+	if progressFn != nil {
+		progressFn(done, total)
+	}
+}

@@ -8,14 +8,17 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"regreloc/internal/node"
+	"regreloc/internal/rng"
 	"regreloc/internal/workload"
 )
 
-// Scale controls the cost of a run: population size, per-thread work
-// (as a multiple of the run length R), and measurement repetitions.
+// Scale controls the cost and execution of a run: population size,
+// per-thread work (as a multiple of the run length R), and how many
+// sweep points run concurrently.
 type Scale struct {
 	// Threads is the synthetic thread population per simulation.
 	Threads int
@@ -24,6 +27,12 @@ type Scale struct {
 	WorkRuns int64
 	// MinWork floors the per-thread work in cycles.
 	MinWork int64
+	// Workers bounds the worker pool running sweep points: 0 means one
+	// worker per core (runtime.GOMAXPROCS), 1 forces sequential
+	// execution, N caps the pool at N goroutines. The produced Report
+	// is identical for every setting; per-point seed derivation makes
+	// results independent of execution order.
+	Workers int
 }
 
 // Scales used by tests, benchmarks, and the CLI.
@@ -40,6 +49,14 @@ func (s Scale) workPer(r int) int64 {
 		w = s.MinWork
 	}
 	return w
+}
+
+// workers resolves Scale.Workers to a concrete pool size.
+func (s Scale) workers() int {
+	if s.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.Workers
 }
 
 // Measurement is one simulated data point: a (figure, panel, curve,
@@ -147,26 +164,36 @@ type archSpec struct {
 	cfg  func(fileSize int) node.Config
 }
 
+// sweep builds the panel-major (F, R, L, arch) point list and hands it
+// to the engine. Every cell simulates under its own RNG stream,
+// derived from the experiment seed and the cell's coordinates, so
+// cells are statistically independent (no replayed streams across the
+// grid) and execution order cannot affect the Report.
 func sweep(seed uint64, scale Scale, fs, rs, ls []int,
 	mkSpec func(r, l int, work int64) workload.Spec, archs []archSpec) []Measurement {
 
-	var out []Measurement
+	var pts []point
 	for _, f := range fs {
 		panel := fmt.Sprintf("F=%d", f)
 		for _, r := range rs {
 			for _, l := range ls {
 				spec := mkSpec(r, l, scale.workPer(r))
-				for _, a := range archs {
-					res := node.Run(a.cfg(f), spec, seed)
-					out = append(out, Measurement{
-						Panel: panel, Arch: a.name, R: r, L: l, F: f,
-						Eff: res.Efficiency, Res: res,
+				for ai, a := range archs {
+					pts = append(pts, point{
+						seed: rng.DeriveSeed(seed, uint64(f), uint64(r), uint64(l), uint64(ai)),
+						run: func(pointSeed uint64) []Measurement {
+							res := node.Run(a.cfg(f), spec, pointSeed)
+							return []Measurement{{
+								Panel: panel, Arch: a.name, R: r, L: l, F: f,
+								Eff: res.Efficiency, Res: res,
+							}}
+						},
 					})
 				}
 			}
 		}
 	}
-	return out
+	return execute(scale, pts)
 }
 
 // Curves groups a panel's measurements into (arch, R) curves sorted by

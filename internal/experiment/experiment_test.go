@@ -417,17 +417,26 @@ func TestAblationDribble(t *testing.T) {
 		t.Fatal("ablation-dribble not registered")
 	}
 	r := e.Run(1, tiny)
+	// Each (cell, arch) samples an independent stream, so a single cell
+	// is noisy at tiny scale; average over the churn regime (large L).
+	churnMean := func(arch string) float64 {
+		var sum float64
+		for _, l := range []int{256, 512, 1024} {
+			p, ok := r.Find("F=64", arch, 32, l)
+			if !ok {
+				t.Fatalf("missing %s L=%d", arch, l)
+			}
+			sum += p.Eff
+		}
+		return sum / 3
+	}
 	// Dribbling helps the flexible architecture in the churn regime...
-	fl, _ := r.Find("F=64", "flexible", 32, 1024)
-	fld, _ := r.Find("F=64", "flexible-dribble", 32, 1024)
-	if fld.Eff <= fl.Eff {
-		t.Errorf("dribble %.3f <= plain %.3f", fld.Eff, fl.Eff)
+	if fld, fl := churnMean("flexible-dribble"), churnMean("flexible"); fld <= fl {
+		t.Errorf("dribble %.3f <= plain %.3f", fld, fl)
 	}
 	// ...and the fixed baseline too (orthogonality).
-	fx, _ := r.Find("F=64", "fixed", 32, 1024)
-	fxd, _ := r.Find("F=64", "fixed-dribble", 32, 1024)
-	if fxd.Eff <= fx.Eff {
-		t.Errorf("fixed dribble %.3f <= plain %.3f", fxd.Eff, fx.Eff)
+	if fxd, fx := churnMean("fixed-dribble"), churnMean("fixed"); fxd <= fx {
+		t.Errorf("fixed dribble %.3f <= plain %.3f", fxd, fx)
 	}
 }
 

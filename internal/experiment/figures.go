@@ -286,6 +286,7 @@ func init() {
 				},
 			}
 			params := analytic.NewParams(runLen, latency, s)
+			var pts []point
 			for n := 1; n <= 14; n++ {
 				spec := workload.Spec{
 					Name:    fmt.Sprintf("N=%d", n),
@@ -295,12 +296,18 @@ func init() {
 					Work:    rng.Constant{Value: int(scale.workPer(runLen))},
 					Threads: n, // population == resident capacity usage
 				}
-				res := node.Run(node.FlexibleConfig(128, policy.Never{}, s), spec, seed)
-				r.Points = append(r.Points,
-					Measurement{Panel: "N-sweep", Arch: "simulated", R: runLen, L: n, F: 128, Eff: res.Efficiency, Res: res},
-					Measurement{Panel: "N-sweep", Arch: "analytic", R: runLen, L: n, F: 128, Eff: params.Efficiency(float64(n))},
-				)
+				pts = append(pts, point{
+					seed: rng.DeriveSeed(seed, 128, uint64(runLen), uint64(n), 0),
+					run: func(pointSeed uint64) []Measurement {
+						res := node.Run(node.FlexibleConfig(128, policy.Never{}, s), spec, pointSeed)
+						return []Measurement{
+							{Panel: "N-sweep", Arch: "simulated", R: runLen, L: n, F: 128, Eff: res.Efficiency, Res: res},
+							{Panel: "N-sweep", Arch: "analytic", R: runLen, L: n, F: 128, Eff: params.Efficiency(float64(n))},
+						}
+					},
+				})
 			}
+			r.Points = execute(scale, pts)
 			return r
 		},
 	})

@@ -33,35 +33,50 @@ func init() {
 					"past ~6 (when the summed working sets exceed the file).",
 				},
 			}
-			src := rng.New(seed)
 			const fileSize = 64
 			rounds := 30
 			if scale.Threads > Quick.Threads {
 				rounds = 100
 			}
-			for _, threads := range []int{2, 4, 6, 8, 12} {
+			threadCounts := []int{2, 4, 6, 8, 12}
+			type cell struct {
+				points []Measurement
+				note   string
+			}
+			cells := make([]cell, len(threadCounts))
+			forEach(scale.workers(), len(threadCounts), func(i int) {
+				threads := threadCounts[i]
 				// Fine-grained threads (C ~ U[6,12]): the regime where
 				// binding granularity differentiates — the context cache
 				// and register relocation keep most state resident while
-				// fixed 32-register slots thrash.
+				// fixed 32-register slots thrash. Working sets come from a
+				// per-cell stream derived from the thread count, so cells
+				// are independent of each other and of execution order.
+				src := rng.New(rng.DeriveSeed(seed, uint64(fileSize), uint64(threads)))
 				ws := make([]int, threads)
 				for i := range ws {
 					ws[i] = src.IntRange(6, 12)
 				}
 				tr := ctxcache.CompareTraffic(fileSize, ws, rounds)
 				if tr.Fixed == 0 {
-					r.Notes = append(r.Notes, fmt.Sprintf("threads=%d: no traffic", threads))
-					continue
+					cells[i].note = fmt.Sprintf("threads=%d: no traffic", threads)
+					return
 				}
 				norm := float64(tr.Fixed)
-				r.Points = append(r.Points,
-					Measurement{Panel: "traffic", Arch: "context-cache", R: 0, L: threads, F: fileSize,
+				cells[i].points = []Measurement{
+					{Panel: "traffic", Arch: "context-cache", R: 0, L: threads, F: fileSize,
 						Eff: float64(tr.ContextCache) / norm},
-					Measurement{Panel: "traffic", Arch: "regreloc", R: 0, L: threads, F: fileSize,
+					{Panel: "traffic", Arch: "regreloc", R: 0, L: threads, F: fileSize,
 						Eff: float64(tr.RegReloc) / norm},
-					Measurement{Panel: "traffic", Arch: "fixed", R: 0, L: threads, F: fileSize,
+					{Panel: "traffic", Arch: "fixed", R: 0, L: threads, F: fileSize,
 						Eff: 1},
-				)
+				}
+			})
+			for _, c := range cells {
+				if c.note != "" {
+					r.Notes = append(r.Notes, c.note)
+				}
+				r.Points = append(r.Points, c.points...)
 			}
 			return r
 		},

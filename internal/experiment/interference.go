@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"regreloc/internal/cache"
+	"regreloc/internal/rng"
 )
 
 func init() {
@@ -40,20 +41,33 @@ func init() {
 			shrink := study
 			shrink.ShrinkWithParallelism = true
 
+			var pts []point
 			for n := 1; n <= maxN; n++ {
-				mr := study.MissRate(n, seed)
-				r.Points = append(r.Points,
-					Measurement{Panel: "miss-rate", Arch: "fixed-ws", R: 0, L: n, Eff: mr},
-					Measurement{Panel: "miss-rate", Arch: "shrinking-ws", R: 0, L: n, Eff: shrink.MissRate(n, seed)},
-					Measurement{Panel: "utilization", Arch: "fixed-ws", R: 0, L: n,
-						Eff: study.Utilization(n, latency, switchCost, seed)},
-					Measurement{Panel: "utilization", Arch: "shrinking-ws", R: 0, L: n,
-						Eff: shrink.Utilization(n, latency, switchCost, seed)},
-				)
+				pts = append(pts, point{
+					seed: rng.DeriveSeed(seed, uint64(n)),
+					run: func(pointSeed uint64) []Measurement {
+						// One derived sub-seed per (variant, panel) cell so the
+						// four curves sample independent streams.
+						return []Measurement{
+							{Panel: "miss-rate", Arch: "fixed-ws", R: 0, L: n,
+								Eff: study.MissRate(n, rng.DeriveSeed(pointSeed, 0))},
+							{Panel: "miss-rate", Arch: "shrinking-ws", R: 0, L: n,
+								Eff: shrink.MissRate(n, rng.DeriveSeed(pointSeed, 1))},
+							{Panel: "utilization", Arch: "fixed-ws", R: 0, L: n,
+								Eff: study.Utilization(n, latency, switchCost, rng.DeriveSeed(pointSeed, 2))},
+							{Panel: "utilization", Arch: "shrinking-ws", R: 0, L: n,
+								Eff: shrink.Utilization(n, latency, switchCost, rng.DeriveSeed(pointSeed, 3))},
+						}
+					},
+				})
 			}
+			r.Points = execute(scale, pts)
 
+			// The adaptive controller is a sequential feedback loop (each
+			// observation decides the next setting), so it runs after the
+			// sweep on its own derived stream.
 			a := cache.NewAdaptive(1, 1, maxN)
-			n, util := a.Converge(study, latency, switchCost, 3*maxN, seed)
+			n, util := a.Converge(study, latency, switchCost, 3*maxN, rng.DeriveSeed(seed, uint64(maxN)+1))
 			r.Notes = append(r.Notes,
 				fmt.Sprintf("adaptive controller settled at N=%d with utilization %.3f", n, util))
 			r.Points = append(r.Points,

@@ -61,14 +61,22 @@ func init() {
 			if scale.Threads > Quick.Threads {
 				iters = 150
 			}
-			for _, lat := range []int{25, 50, 100, 200, 400, 800} {
-				eff, err := runManagedPoint(lat, 10, iters)
-				if err != nil {
-					r.Notes = append(r.Notes, fmt.Sprintf("L=%d failed: %v", lat, err))
+			// Each latency point is a full machine execution, deterministic
+			// given (latency, iters) — no RNG — so the points parallelize
+			// without seed derivation.
+			lats := []int{25, 50, 100, 200, 400, 800}
+			effs := make([]float64, len(lats))
+			errs := make([]error, len(lats))
+			forEach(scale.workers(), len(lats), func(i int) {
+				effs[i], errs[i] = runManagedPoint(lats[i], 10, iters)
+			})
+			for i, lat := range lats {
+				if errs[i] != nil {
+					r.Notes = append(r.Notes, fmt.Sprintf("L=%d failed: %v", lat, errs[i]))
 					continue
 				}
 				r.Points = append(r.Points, Measurement{
-					Panel: "ISA", Arch: "flexible-managed", R: 3, L: lat, F: 128, Eff: eff,
+					Panel: "ISA", Arch: "flexible-managed", R: 3, L: lat, F: 128, Eff: effs[i],
 				})
 			}
 			return r

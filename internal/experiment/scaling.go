@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"regreloc/internal/network"
+	"regreloc/internal/rng"
 )
 
 func init() {
@@ -39,17 +40,26 @@ func init() {
 			if scale.Threads <= Quick.Threads {
 				horizon = 12_000
 			}
+			var pts []point
 			for _, p := range []int{16, 32, 64, 128, 256, 512} {
 				cfg := network.Config{Processors: p, HopLatency: 8, ServiceTime: 12}
-				fixed := network.FixedPoint(cfg, runLen, switchCost, fixedN, horizon, seed)
-				flex := network.FixedPoint(cfg, runLen, switchCost, flexN, horizon, seed)
-				r.Points = append(r.Points,
-					Measurement{Panel: "P-sweep", Arch: "fixed", R: runLen, L: p, F: 128, Eff: fixed.Efficiency},
-					Measurement{Panel: "P-sweep", Arch: "flexible", R: runLen, L: p, F: 128, Eff: flex.Efficiency},
-					Measurement{Panel: "latency", Arch: "fixed", R: runLen, L: p, F: 128, Eff: fixed.Latency},
-					Measurement{Panel: "latency", Arch: "flexible", R: runLen, L: p, F: 128, Eff: flex.Latency},
-				)
+				for ai, arch := range []struct {
+					name string
+					n    float64
+				}{{"fixed", fixedN}, {"flexible", flexN}} {
+					pts = append(pts, point{
+						seed: rng.DeriveSeed(seed, 128, runLen, uint64(p), uint64(ai)),
+						run: func(pointSeed uint64) []Measurement {
+							res := network.FixedPoint(cfg, runLen, switchCost, arch.n, horizon, pointSeed)
+							return []Measurement{
+								{Panel: "P-sweep", Arch: arch.name, R: runLen, L: p, F: 128, Eff: res.Efficiency},
+								{Panel: "latency", Arch: arch.name, R: runLen, L: p, F: 128, Eff: res.Latency},
+							}
+						},
+					})
+				}
 			}
+			r.Points = execute(scale, pts)
 			return r
 		},
 	})

@@ -317,7 +317,11 @@ func (s *state) advanceClock(n int64) {
 	s.residentIntegral += int64(s.ring.Len()) * (s.events.Now() + n - s.lastResidentAt)
 	s.wasteIntegral += s.currentWaste * (s.events.Now() + n - s.lastResidentAt)
 	s.lastResidentAt = s.events.Now() + n
-	s.events.Advance(n)
+	// AdvanceTo, not Advance: charged cycles (run segments, runtime
+	// operations) intentionally overrun pending fault completions — the
+	// processor only notices them at the next switch (processDueEvents),
+	// which the strict Advance would reject.
+	s.events.AdvanceTo(s.events.Now() + n)
 	s.window.MaybeSnapshot(&s.acct, s.acct.Get(stats.Useful), s.totalWork)
 }
 

@@ -27,6 +27,33 @@ func TestAdvanceNegativePanics(t *testing.T) {
 	q.Advance(-1)
 }
 
+func TestAdvancePastPendingEventPanics(t *testing.T) {
+	var q Queue
+	q.Schedule(10, "x")
+	q.Advance(10) // exactly onto the due time is allowed...
+	if e := q.PopDue(); e == nil || e.Payload != "x" {
+		t.Fatal("event not due after advancing onto its time")
+	}
+	q.Schedule(15, "y")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic advancing past a pending event")
+		}
+	}()
+	q.Advance(6) // ...but overrunning the pending event is not
+}
+
+func TestAdvanceToMayPassPendingEvents(t *testing.T) {
+	// AdvanceTo is the documented escape hatch for callers that notice
+	// events late (the node simulator's run segments).
+	var q Queue
+	q.Schedule(10, "x")
+	q.AdvanceTo(25)
+	if e := q.PopDue(); e == nil || e.Payload != "x" {
+		t.Fatal("overrun event not delivered by PopDue")
+	}
+}
+
 func TestAdvanceToPastPanics(t *testing.T) {
 	var q Queue
 	q.Advance(10)
