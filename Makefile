@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench examples figures data clean
+.PHONY: all build test test-race vet lint-asm bench examples figures data clean
 
 all: test
 
@@ -19,6 +19,14 @@ test: vet
 # drives.
 test-race:
 	$(GO) test -race ./internal/experiment/... ./internal/sim/...
+
+# Static-analyze every assembly routine the repo ships: the kernel
+# runtime (Figure 3 switch, load/unload), the context allocators, the
+# Multi-RRM manager stubs, and the example programs.
+lint-asm:
+	$(GO) run ./cmd/rrcheck -kernel
+	$(GO) run ./cmd/rrcheck -ctx 8 examples/programs/fib.s
+	$(GO) run ./cmd/rrcheck -ctx 32 examples/programs/pingpong.s
 
 # Regenerate every paper figure/table as benchmarks (metrics carry the
 # efficiencies); mirrors the harness in bench_test.go.

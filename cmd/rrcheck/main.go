@@ -1,14 +1,20 @@
-// Command rrcheck is the static context-boundary checker from paper
-// Section 2.4: it scans assembled programs for register operands that
-// reach outside a thread's declared context.
+// Command rrcheck is the static checker from paper Section 2.4, grown
+// into the driver for the flow-sensitive analyzer in
+// internal/analysis: CFG reachability, per-register liveness, the
+// context-boundary check, and LDRRM hazard detection.
 //
 // Usage:
 //
-//	rrcheck -size 16 file.s
-//	rrcheck -size 8 -multirrm file.s
-//	rrcheck -infer file.s          # report the smallest fitting context
+//	rrcheck -ctx 16 file.s                      # full analysis
+//	rrcheck -ctx 8 -multirrm file.s             # Section 5.3 decoding
+//	rrcheck -ctx 16 -passes bounds,hazards file.s
+//	rrcheck -ctx 16 -format json file.s
+//	rrcheck -infer file.s                       # smallest fitting context
+//	rrcheck -kernel                             # self-check the kernel asm
 //
-// Exit status is 1 when violations are found.
+// Exit status: 0 when no unsuppressed diagnostics are found, 1 when
+// any are, 2 on usage, file, or assembly errors (assembly errors are
+// reported with their source line).
 package main
 
 import (
@@ -16,10 +22,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"regreloc/internal/alloc"
+	"regreloc/internal/analysis"
 	"regreloc/internal/asm"
-	"regreloc/internal/check"
+	"regreloc/internal/kernel"
 )
 
 func main() {
@@ -31,45 +39,167 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rrcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		size  = fs.Int("size", 0, "declared context size in registers")
-		multi = fs.Bool("multirrm", false, "treat the operand high bit as the RRM selector")
-		infer = fs.Bool("infer", false, "infer the smallest context the code fits in")
+		ctx        = fs.Int("ctx", 0, "declared context size in registers")
+		size       = fs.Int("size", 0, "alias for -ctx (kept for compatibility)")
+		multi      = fs.Bool("multirrm", false, "treat the operand high bit as the RRM selector")
+		infer      = fs.Bool("infer", false, "infer the smallest context the code fits in")
+		passesF    = fs.String("passes", "all", "comma-separated passes: bounds,hazards,unreachable")
+		format     = fs.String("format", "text", "output format: text or json")
+		delay      = fs.Int("delay", 1, "LDRRM delay slots")
+		entries    = fs.String("entry", "", "comma-separated entry labels (default: every label)")
+		kernelMode = fs.Bool("kernel", false, "self-check the embedded kernel assembly routines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() != 1 || (*size == 0 && !*infer) {
-		fs.Usage()
+	if *ctx == 0 {
+		*ctx = *size
+	}
+
+	passes, err := parsePasses(*passesF)
+	if err != nil {
+		fmt.Fprintf(stderr, "rrcheck: %v\n", err)
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "rrcheck: unknown format %q\n", *format)
 		return 2
 	}
 
+	if *kernelMode {
+		if fs.NArg() != 0 {
+			fs.Usage()
+			return 2
+		}
+		return runKernel(passes, *format, *delay, stdout, stderr)
+	}
+
+	if fs.NArg() != 1 || (*ctx == 0 && !*infer) {
+		fs.Usage()
+		return 2
+	}
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintf(stderr, "rrcheck: %v\n", err)
-		return 1
+		return 2
 	}
-	prog, err := asm.Assemble(string(data))
+	src := string(data)
+
+	opts := analysis.Options{
+		ContextSize: *ctx,
+		MultiRRM:    *multi,
+		DelaySlots:  *delay,
+		Passes:      passes,
+	}
+	res, err := analysis.AnalyzeSource(src, opts)
 	if err != nil {
+		// Assembly errors carry their source line (asm: line N: ...).
 		fmt.Fprintf(stderr, "rrcheck: %v\n", err)
-		return 1
+		return 2
+	}
+	if *entries != "" {
+		res, err = analyzeWithEntries(src, opts, *entries)
+		if err != nil {
+			fmt.Fprintf(stderr, "rrcheck: %v\n", err)
+			return 2
+		}
 	}
 
 	if *infer {
-		n := check.MaxRegister(prog, 0, 0)
+		n := res.Requirement()
 		fmt.Fprintf(stdout, "highest register used: r%d (requirement C = %d, context size %d)\n",
 			n-1, n, alloc.RoundContextSize(n, 4, 64))
-		if *size == 0 {
+		if *ctx == 0 {
 			return 0
 		}
 	}
 
-	violations := check.Program(prog, check.Options{ContextSize: *size, MultiRRM: *multi})
-	if len(violations) == 0 {
-		fmt.Fprintf(stdout, "ok: all register operands within a %d-register context\n", *size)
-		return 0
+	switch *format {
+	case "json":
+		out, err := res.JSON()
+		if err != nil {
+			fmt.Fprintf(stderr, "rrcheck: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s\n", out)
+	default:
+		fmt.Fprint(stdout, res.Text())
 	}
-	for _, v := range violations {
-		fmt.Fprintln(stdout, v)
+	if len(res.Diags) > 0 {
+		return 1
 	}
-	return 1
+	return 0
+}
+
+// analyzeWithEntries re-analyzes with explicit CFG roots resolved from
+// a comma-separated label list.
+func analyzeWithEntries(src string, opts analysis.Options, labels string) (*analysis.Result, error) {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, label := range strings.Split(labels, ",") {
+		label = strings.TrimSpace(label)
+		addr, ok := p.Symbols[label]
+		if !ok {
+			return nil, fmt.Errorf("unknown entry label %q", label)
+		}
+		opts.Entries = append(opts.Entries, addr)
+	}
+	return analysis.AnalyzeSource(src, opts)
+}
+
+// runKernel self-applies the analyzer to every embedded kernel
+// assembly routine group at the context size each must satisfy.
+func runKernel(passes analysis.Pass, format string, delay int, stdout, stderr io.Writer) int {
+	status := 0
+	for _, t := range kernel.LintTargets() {
+		res, err := analysis.AnalyzeSource(t.Source, analysis.Options{
+			ContextSize: t.ContextSize,
+			MultiRRM:    t.MultiRRM,
+			DelaySlots:  delay,
+			Passes:      passes,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "rrcheck: %s: %v\n", t.Name, err)
+			return 2
+		}
+		switch format {
+		case "json":
+			out, err := res.JSON()
+			if err != nil {
+				fmt.Fprintf(stderr, "rrcheck: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "%s\n", out)
+		default:
+			fmt.Fprintf(stdout, "%s: %s\n", t.Name, res.Summary())
+			for _, d := range res.Diags {
+				fmt.Fprintf(stdout, "%s: %s\n", t.Name, d)
+			}
+		}
+		if len(res.Diags) > 0 {
+			status = 1
+		}
+	}
+	return status
+}
+
+func parsePasses(s string) (analysis.Pass, error) {
+	var p analysis.Pass
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		bit, ok := analysis.PassByName[name]
+		if !ok {
+			return 0, fmt.Errorf("unknown pass %q", name)
+		}
+		p |= bit
+	}
+	if p == 0 {
+		p = analysis.PassAll
+	}
+	return p, nil
 }

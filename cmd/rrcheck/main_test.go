@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,7 +23,7 @@ func TestCleanProgramExitsZero(t *testing.T) {
 	if code := run([]string{"-size", "8", path}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, stderr %q", code, errOut.String())
 	}
-	if !strings.Contains(out.String(), "ok:") {
+	if !strings.Contains(out.String(), "ok") {
 		t.Errorf("output = %q", out.String())
 	}
 }
@@ -33,8 +34,21 @@ func TestViolationExitsOne(t *testing.T) {
 	if code := run([]string{"-size", "8", path}, &out, &errOut); code != 1 {
 		t.Fatalf("exit %d", code)
 	}
-	if !strings.Contains(out.String(), "outside context") {
+	if !strings.Contains(out.String(), "outside context") ||
+		!strings.Contains(out.String(), "RR101") {
 		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCtxFlagAliasesSize(t *testing.T) {
+	path := writeTemp(t, "add r9, r1, r1\nhalt\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-ctx", "8", path}, &out, &errOut); code != 1 {
+		t.Fatalf("-ctx exit %d", code)
+	}
+	out.Reset()
+	if code := run([]string{"-ctx", "16", path}, &out, &errOut); code != 0 {
+		t.Fatalf("-ctx 16 exit %d: %s", code, out.String())
 	}
 }
 
@@ -49,11 +63,121 @@ func TestInferMode(t *testing.T) {
 	}
 }
 
+func TestInferIgnoresDeadStores(t *testing.T) {
+	// A store target register still counts toward the requirement even
+	// when its value is never read: the write lands in the context.
+	path := writeTemp(t, "movi r13, 1\nhalt\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-infer", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "C = 14") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
 func TestMultiRRMFlag(t *testing.T) {
 	path := writeTemp(t, "add c0.r3, c0.r4, c1.r6\nhalt\n")
 	var out, errOut strings.Builder
 	if code := run([]string{"-size", "8", "-multirrm", path}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d: %s", code, out.String())
+	}
+	// Without -multirrm the selector bit makes c1.r6 operand value 38.
+	out.Reset()
+	if code := run([]string{"-size", "8", path}, &out, &errOut); code != 1 {
+		t.Fatalf("plain exit %d: %s", code, out.String())
+	}
+}
+
+func TestPassesFlag(t *testing.T) {
+	// ldrrm with a read in the delay slot: a hazard, not a bounds issue.
+	src := "movi r2, 0\nldrrm r2\nadd r3, r1, r1\nhalt\n"
+	path := writeTemp(t, src)
+	var out, errOut strings.Builder
+	if code := run([]string{"-ctx", "8", "-passes", "bounds", path}, &out, &errOut); code != 0 {
+		t.Fatalf("bounds-only exit %d: %s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-ctx", "8", "-passes", "hazards", path}, &out, &errOut); code != 1 {
+		t.Fatalf("hazards exit %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "RR201") {
+		t.Errorf("output = %q", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-ctx", "8", "-passes", "bogus", path}, &out, &errOut); code != 2 {
+		t.Errorf("unknown pass exit = %d", code)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	path := writeTemp(t, "add r9, r1, r1\nhalt\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-ctx", "8", "-format", "json", path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	var rep struct {
+		Requirement int `json:"requirement"`
+		Diagnostics []struct {
+			Code string `json:"code"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Requirement != 10 || len(rep.Diagnostics) != 1 || rep.Diagnostics[0].Code != "RR101" {
+		t.Errorf("report = %+v", rep)
+	}
+	var errOut2 strings.Builder
+	if code := run([]string{"-ctx", "8", "-format", "yaml", path}, &out, &errOut2); code != 2 {
+		t.Errorf("bad format exit = %d", code)
+	}
+}
+
+func TestSuppressionComment(t *testing.T) {
+	path := writeTemp(t, "add r9, r1, r1 ; lint:ignore RR101 intentional\nhalt\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-ctx", "8", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "1 suppressed") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestDataWordsNotFlagged(t *testing.T) {
+	path := writeTemp(t, "halt\n.word 0x12345678\n.word 0xffffffff\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-ctx", "4", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, out.String())
+	}
+}
+
+func TestEntryFlag(t *testing.T) {
+	// Without roots at every label, code after halt is unreachable; an
+	// explicit -entry keeps only main live so r9 in helper is demoted
+	// to the Info-level flat scan.
+	src := "main:\nmovi r1, 1\nhalt\nhelper:\nadd r9, r1, r1\nhalt\n"
+	path := writeTemp(t, src)
+	var out, errOut strings.Builder
+	if code := run([]string{"-ctx", "8", "-passes", "bounds", "-entry", "main", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s\n%s", code, out.String(), errOut.String())
+	}
+	out.Reset()
+	if code := run([]string{"-ctx", "8", "-entry", "nosuch", path}, &out, &errOut); code != 2 {
+		t.Errorf("unknown label exit = %d", code)
+	}
+}
+
+func TestKernelMode(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-kernel"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	for _, name := range []string{"runtime", "allocator", "manager-stubs", "worker"} {
+		if !strings.Contains(out.String(), name+": ok") {
+			t.Errorf("missing clean %s in:\n%s", name, out.String())
+		}
 	}
 }
 
@@ -62,11 +186,16 @@ func TestUsageErrors(t *testing.T) {
 	if code := run(nil, &out, &errOut); code != 2 {
 		t.Errorf("no args exit = %d", code)
 	}
-	if code := run([]string{"-size", "8", "nonexistent.s"}, &out, &errOut); code != 1 {
+	if code := run([]string{"-size", "8", "nonexistent.s"}, &out, &errOut); code != 2 {
 		t.Errorf("missing file exit = %d", code)
 	}
 	bad := writeTemp(t, "frobnicate r1\n")
-	if code := run([]string{"-size", "8", bad}, &out, &errOut); code != 1 {
+	errOut.Reset()
+	if code := run([]string{"-size", "8", bad}, &out, &errOut); code != 2 {
 		t.Errorf("bad assembly exit = %d", code)
+	}
+	// Assembly errors carry the offending source line.
+	if !strings.Contains(errOut.String(), "line 1") {
+		t.Errorf("stderr = %q", errOut.String())
 	}
 }

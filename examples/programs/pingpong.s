@@ -9,7 +9,7 @@
 	; forge B's initial state (a loader would do this): we are still in
 	; context A, so write B's registers by switching briefly.
 	ldrrm r2           ; install B (delay slot next)
-	movi r3, bstart    ; delay slot: A.r3 = B's entry (scratch)
+	movi r3, bstart    ; delay slot: A.r3 = B's entry (scratch) lint:ignore RR203
 	movi r2, 0         ; B.r2 = A's mask
 	movi r1, 0         ; B's counter
 	movi r4, 10        ; B's iteration limit

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"sort"
+
+	"regreloc/internal/isa"
+)
+
+// hazardPass reports the register relocation hazards: delay-slot
+// accesses that observe the wrong context (RR201/RR203), branches
+// into delay slots (RR202), unaligned or overlapping LDRRM constants
+// (RR204/RR205), and unpaired PSW save/restore around context
+// switches (RR206).
+func (r *Result) hazardPass() {
+	r.delaySlotChecks()
+	r.rrmConstantChecks()
+	r.pswPairingChecks()
+}
+
+func (r *Result) delaySlotChecks() {
+	c := r.cfg
+	for s := r.opts.Start; s < r.opts.End; s++ {
+		ldrrm := c.slot(s)
+		if ldrrm < 0 || !c.reachable(s) {
+			continue
+		}
+		// RR202: any edge into the slot that is not the linear
+		// fallthrough from the LDRRM (or from an earlier slot of the
+		// same LDRRM) arrives with a different RRM state than the
+		// fall-through path — the mask in effect at s depends on the
+		// path taken.
+		for _, u := range c.preds[c.idx(s)] {
+			if u == s-1 && (u == ldrrm || c.slot(u) == ldrrm) {
+				continue
+			}
+			r.reportAt(CodeBranchIntoSlot, Error, u, u,
+				"branch into the %s delay slot at addr %d: the active mask depends on the path taken",
+				c.instrAt(ldrrm).Op, s)
+		}
+		if c.kindAt(s) != kindCode {
+			continue
+		}
+		in := c.instrAt(s)
+		use, def := useDef(in)
+		// RR201: reads in the slot observe the old context's values.
+		for _, reg := range regList(use) {
+			r.report(CodeDelaySlotRead, Warning, s,
+				"%s read in the %s delay slot observes the old context",
+				r.operandName(reg), c.instrAt(ldrrm).Op)
+		}
+		// RR203: a write in the slot lands in the old context; if the
+		// register is still live once the new mask commits, the
+		// post-switch read sees the new context's (unwritten) copy.
+		post := ldrrm + r.opts.DelaySlots + 1
+		if !c.reachableCode(post) {
+			continue
+		}
+		for _, reg := range regList(def & r.live.liveIn(c, post)) {
+			r.report(CodeDelaySlotWrite, Warning, s,
+				"%s written in the %s delay slot lands in the old context but is read after the switch",
+				r.operandName(reg), c.instrAt(ldrrm).Op)
+		}
+	}
+}
+
+// rrmConstantChecks tracks statically known register constants within
+// basic blocks (movi/lui/ori/addi chains, covering the li pseudo) and
+// validates the masks fed to LDRRM: OR relocation requires masks
+// aligned to the context size, and two masks closer than one context
+// denote overlapping register ranges. LDRRM2's packed encoding
+// depends on the machine's RRM width, so its constants are skipped.
+func (r *Result) rrmConstantChecks() {
+	c := r.cfg
+	type maskUse struct{ addr, mask int }
+	var masks []maskUse
+	consts := map[int]int64{}
+
+	for a := r.opts.Start; a < r.opts.End; a++ {
+		if !c.reachableCode(a) {
+			if !c.reachable(a) || c.kindAt(a) == kindData {
+				consts = map[int]int64{} // gap: restart tracking
+			}
+			continue
+		}
+		if c.isLeader(a) {
+			// Join point or entry: values depend on the incoming path.
+			consts = map[int]int64{}
+		}
+		in := c.instrAt(a)
+		switch in.Op {
+		case isa.LDRRM:
+			if v, ok := consts[in.Rs1]; ok {
+				mask := int(v)
+				if r.opts.ContextSize > 0 && mask%r.opts.ContextSize != 0 {
+					r.report(CodeUnalignedRRM, Error, a,
+						"ldrrm mask %d is not aligned to the %d-register context size",
+						mask, r.opts.ContextSize)
+				}
+				masks = append(masks, maskUse{addr: a, mask: mask})
+			}
+		case isa.MOVI:
+			consts[in.Rd] = int64(in.Imm)
+		case isa.LUI:
+			consts[in.Rd] = int64(in.Imm) << 12
+		case isa.ORI:
+			if v, ok := consts[in.Rs1]; ok {
+				consts[in.Rd] = v | int64(uint32(in.Imm))
+			} else {
+				delete(consts, in.Rd)
+			}
+		case isa.ADDI:
+			if v, ok := consts[in.Rs1]; ok {
+				consts[in.Rd] = v + int64(in.Imm)
+			} else {
+				delete(consts, in.Rd)
+			}
+		default:
+			if _, _, _, writesRd := isa.RegisterFields(in.Op); writesRd {
+				delete(consts, in.Rd)
+			}
+		}
+	}
+
+	if r.opts.ContextSize < 1 || len(masks) < 2 {
+		return
+	}
+	sort.Slice(masks, func(i, j int) bool { return masks[i].mask < masks[j].mask })
+	for i := 1; i < len(masks); i++ {
+		lo, hi := masks[i-1], masks[i]
+		if hi.mask != lo.mask && hi.mask < lo.mask+r.opts.ContextSize {
+			at := hi.addr
+			if lo.addr > at {
+				at = lo.addr
+			}
+			r.report(CodeOverlappingRRM, Warning, at,
+				"ldrrm masks %d and %d select overlapping %d-register contexts",
+				lo.mask, hi.mask, r.opts.ContextSize)
+		}
+	}
+}
+
+// pswPairingChecks enforces the Figure 3 discipline around each LDRRM
+// thread switch: if the sequence touches the PSW at all, the old
+// context's PSW must be saved (mfpsw) before the mask commits and the
+// new context's restored (mtpsw) after. A switch that elides the PSW
+// entirely (as the pingpong example does) is accepted. LDRRM2 is used
+// for cross-context register access, not thread switching, so it is
+// exempt.
+func (r *Result) pswPairingChecks() {
+	const window = 4
+	c := r.cfg
+	for a := r.opts.Start; a < r.opts.End; a++ {
+		if !c.reachableCode(a) || c.instrAt(a).Op != isa.LDRRM {
+			continue
+		}
+		commit := a + r.opts.DelaySlots
+
+		saveSeen := false
+		// The save must execute under the old mask: in the delay slots
+		// or in the straight line leading to the switch.
+		for b := a + 1; b <= commit && c.reachableCode(b); b++ {
+			if c.instrAt(b).Op == isa.MFPSW {
+				saveSeen = true
+			}
+		}
+		for b, steps := a-1, 0; steps < window && c.reachableCode(b); b, steps = b-1, steps+1 {
+			op := c.instrAt(b).Op
+			if op == isa.MFPSW {
+				saveSeen = true
+			}
+			if transfers(op) || c.isLeader(b+1) {
+				break
+			}
+		}
+
+		restoreSeen := false
+		for b, steps := commit+1, 0; steps < window && c.reachableCode(b); b, steps = b+1, steps+1 {
+			op := c.instrAt(b).Op
+			if op == isa.MTPSW {
+				restoreSeen = true
+			}
+			if transfers(op) {
+				break
+			}
+		}
+
+		switch {
+		case saveSeen && !restoreSeen:
+			r.report(CodeUnpairedPSW, Warning, a,
+				"context switch saves the PSW (mfpsw) but never restores the new context's (mtpsw)")
+		case restoreSeen && !saveSeen:
+			r.report(CodeUnpairedPSW, Warning, a,
+				"context switch restores the PSW (mtpsw) without saving the old context's (mfpsw)")
+		}
+	}
+}
+
+// transfers reports whether op unconditionally leaves the straight
+// line (for the PSW pairing windows).
+func transfers(op isa.Op) bool {
+	switch op {
+	case isa.JMP, isa.JALR, isa.JAL, isa.HALT:
+		return true
+	}
+	return false
+}

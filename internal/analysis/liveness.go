@@ -1,0 +1,96 @@
+package analysis
+
+import "regreloc/internal/isa"
+
+// liveness holds per-instruction live-register bitsets, indexed by
+// raw operand number (0..2^w-1, so MultiRRM's c1.rN occupies bit
+// 32+N and is tracked separately from c0.rN — they are different
+// physical registers).
+type liveness struct {
+	start   int
+	in, out []uint64
+}
+
+func bit(r int) uint64 { return 1 << uint(r) }
+
+// useDef returns the registers an instruction reads and writes, from
+// the ISA's fixed-field semantics (stores and branches read rd).
+func useDef(in isa.Instr) (use, def uint64) {
+	usesRd, usesRs1, usesRs2, writesRd := isa.RegisterFields(in.Op)
+	if usesRs1 {
+		use |= bit(in.Rs1)
+	}
+	if usesRs2 {
+		use |= bit(in.Rs2)
+	}
+	if usesRd {
+		if writesRd {
+			def |= bit(in.Rd)
+		} else {
+			use |= bit(in.Rd)
+		}
+	}
+	return use, def
+}
+
+func (l *liveness) liveIn(c *cfg, addr int) uint64 {
+	if !c.inRange(addr) {
+		return 0
+	}
+	return l.in[addr-l.start]
+}
+
+func (l *liveness) liveOut(c *cfg, addr int) uint64 {
+	if !c.inRange(addr) {
+		return 0
+	}
+	return l.out[addr-l.start]
+}
+
+// computeLiveness runs the classic backward dataflow to a fixpoint
+// over the reachable words. At indirect transfers (jmp, jalr) and
+// FAULT traps the successor set is unknown, so the registers in
+// opts.IndirectLive (default: the runtime-reserved R0-R3, which the
+// kernel's yield/load/unload paths read behind the thread's back) are
+// conservatively assumed live.
+func computeLiveness(c *cfg, opts Options) *liveness {
+	n := c.end - c.start
+	l := &liveness{start: c.start, in: make([]uint64, n), out: make([]uint64, n)}
+
+	indirect := uint64(0)
+	if opts.IndirectLive == nil {
+		for r := 0; r < 4; r++ {
+			indirect |= bit(r)
+		}
+	} else {
+		for _, r := range opts.IndirectLive {
+			indirect |= bit(r)
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for a := c.end - 1; a >= c.start; a-- {
+			i := c.idx(a)
+			if !c.reach[i] {
+				continue
+			}
+			in := c.instr[i]
+			var out uint64
+			for _, s := range c.succs[i] {
+				out |= l.in[c.idx(s)]
+			}
+			switch in.Op {
+			case isa.JMP, isa.JALR, isa.FAULT:
+				out |= indirect
+			}
+			use, def := useDef(in)
+			newIn := use | (out &^ def)
+			if newIn != l.in[i] || out != l.out[i] {
+				l.in[i], l.out[i] = newIn, out
+				changed = true
+			}
+		}
+	}
+	return l
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Text renders the unsuppressed diagnostics one per line, followed by
+// a summary, matching the rrcheck driver's default output.
+func (r *Result) Text() string {
+	var b strings.Builder
+	for _, d := range r.Diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%s\n", r.Summary())
+	return b.String()
+}
+
+// Summary returns the one-line outcome.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	if len(r.Diags) == 0 {
+		b.WriteString("ok")
+	} else {
+		errs := 0
+		for _, d := range r.Diags {
+			if d.Severity == Error {
+				errs++
+			}
+		}
+		fmt.Fprintf(&b, "%d diagnostics (%d errors)", len(r.Diags), errs)
+	}
+	fmt.Fprintf(&b, ": requirement C = %d", r.Requirement())
+	if r.opts.ContextSize > 0 {
+		fmt.Fprintf(&b, " against a %d-register context", r.opts.ContextSize)
+	}
+	if n := len(r.Suppressed); n > 0 {
+		fmt.Fprintf(&b, ", %d suppressed", n)
+	}
+	return b.String()
+}
+
+// jsonReport is the machine-readable shape of a Result.
+type jsonReport struct {
+	Requirement int          `json:"requirement"`
+	ContextSize int          `json:"contextSize,omitempty"`
+	MultiRRM    bool         `json:"multiRRM,omitempty"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Suppressed  int          `json:"suppressed"`
+}
+
+// JSON renders the result as indented JSON for tooling.
+func (r *Result) JSON() ([]byte, error) {
+	rep := jsonReport{
+		Requirement: r.Requirement(),
+		ContextSize: r.opts.ContextSize,
+		MultiRRM:    r.opts.MultiRRM,
+		Diagnostics: r.Diags,
+		Suppressed:  len(r.Suppressed),
+	}
+	if rep.Diagnostics == nil {
+		rep.Diagnostics = []Diagnostic{}
+	}
+	return json.MarshalIndent(rep, "", "  ")
+}

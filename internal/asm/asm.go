@@ -43,6 +43,23 @@ type Program struct {
 	// Source maps a word address back to its source line (1-based), 0
 	// for padding; used in error messages and by the static checker.
 	Source []int
+	// Data marks word addresses emitted by .word directives, so static
+	// checkers can avoid decoding data as instructions.
+	Data []bool
+}
+
+// IsData reports whether addr holds a .word datum rather than an
+// instruction.
+func (p *Program) IsData(addr int) bool {
+	return addr >= 0 && addr < len(p.Data) && p.Data[addr]
+}
+
+// IsPadding reports whether addr is .org padding: a word no source
+// statement emitted. Hand-built programs without a source map have no
+// padding.
+func (p *Program) IsPadding(addr int) bool {
+	return len(p.Source) == len(p.Words) &&
+		addr >= 0 && addr < len(p.Source) && p.Source[addr] == 0
 }
 
 // Error is an assembly error with source position.
@@ -142,11 +159,13 @@ func Assemble(src string) (*Program, error) {
 		Words:   make([]isa.Word, loc),
 		Symbols: symbols,
 		Source:  make([]int, loc),
+		Data:    make([]bool, loc),
 	}
 	for _, s := range stmts {
 		if s.isWord {
 			prog.Words[s.addr] = isa.Word(s.word)
 			prog.Source[s.addr] = s.line
+			prog.Data[s.addr] = true
 			continue
 		}
 		words, err := encodeStmt(s, symbols)

@@ -1,0 +1,41 @@
+package asm
+
+import "testing"
+
+func TestDataWordTracking(t *testing.T) {
+	p := MustAssemble("movi r1, 1\n.word 0x12345678\nhalt\n.word 7\n")
+	wantData := []bool{false, true, false, true}
+	if len(p.Data) != len(wantData) {
+		t.Fatalf("len(Data) = %d, want %d", len(p.Data), len(wantData))
+	}
+	for addr, want := range wantData {
+		if p.IsData(addr) != want {
+			t.Errorf("IsData(%d) = %v, want %v", addr, p.IsData(addr), want)
+		}
+	}
+	// Out-of-range queries are false, not panics.
+	if p.IsData(-1) || p.IsData(99) {
+		t.Error("out-of-range IsData = true")
+	}
+}
+
+func TestPaddingTracking(t *testing.T) {
+	p := MustAssemble("movi r1, 1\n.org 4\nhalt\n")
+	for addr, want := range []bool{false, true, true, true, false} {
+		if p.IsPadding(addr) != want {
+			t.Errorf("IsPadding(%d) = %v, want %v", addr, p.IsPadding(addr), want)
+		}
+	}
+	if p.IsPadding(-1) || p.IsPadding(99) {
+		t.Error("out-of-range IsPadding = true")
+	}
+}
+
+func TestZeroValueProgramDataQueries(t *testing.T) {
+	// Programs constructed without the assembler (tests, loaders) have
+	// nil Data/Source; the queries must stay safe.
+	p := &Program{}
+	if p.IsData(0) || p.IsPadding(0) {
+		t.Error("zero-value program reported data/padding")
+	}
+}

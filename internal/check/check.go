@@ -4,6 +4,11 @@
 // for most violations of context boundaries." It scans an assembled
 // binary and reports every instruction whose live register operands
 // reach outside the thread's declared context size.
+//
+// The scan is flat and flow-insensitive: every non-data word in the
+// range is decoded, whether or not it is reachable. The flow-sensitive
+// analyzer in internal/analysis builds on this package, using the flat
+// scan as its unreachable-code fallback pass.
 package check
 
 import (
@@ -64,6 +69,12 @@ func Program(p *asm.Program, opts Options) []Violation {
 	}
 	var out []Violation
 	for addr := opts.Start; addr < end; addr++ {
+		// .word data and .org padding are not instructions; decoding
+		// them produced false positives on any program with a data
+		// segment.
+		if p.IsData(addr) || p.IsPadding(addr) {
+			continue
+		}
 		in := isa.Decode(p.Words[addr])
 		usesRd, usesRs1, usesRs2, _ := isa.RegisterFields(in.Op)
 		line := 0
@@ -113,6 +124,9 @@ func MaxRegister(p *asm.Program, start, end int) int {
 	}
 	max := -1
 	for addr := start; addr < end; addr++ {
+		if p.IsData(addr) || p.IsPadding(addr) {
+			continue
+		}
 		in := isa.Decode(p.Words[addr])
 		usesRd, usesRs1, usesRs2, _ := isa.RegisterFields(in.Op)
 		for _, f := range []struct {

@@ -1,0 +1,54 @@
+package check
+
+import (
+	"testing"
+
+	"regreloc/internal/asm"
+)
+
+func TestDataWordsSkipped(t *testing.T) {
+	// 0xffffffff decodes with all operand fields maxed; before data
+	// tracking the flat scan flagged every .word in a program.
+	p := asm.MustAssemble("halt\n.word 0xffffffff\n.word 0x12345678\n")
+	if vs := Program(p, Options{ContextSize: 4}); len(vs) != 0 {
+		t.Errorf("data words flagged: %v", vs)
+	}
+	if got := MaxRegister(p, 0, 0); got != 0 {
+		t.Errorf("MaxRegister = %d, want 0", got)
+	}
+}
+
+func TestPaddingSkipped(t *testing.T) {
+	p := asm.MustAssemble("movi r1, 1\n.org 8\nhalt\n")
+	if vs := Program(p, Options{ContextSize: 2}); len(vs) != 0 {
+		t.Errorf("padding flagged: %v", vs)
+	}
+}
+
+func TestMultiRRMSelectorMasking(t *testing.T) {
+	// c1.r6 is raw operand 38: under MultiRRM only the low bits are
+	// checked against the context, so it passes at size 8...
+	p := asm.MustAssemble("add c0.r3, c0.r4, c1.r6\nhalt\n")
+	if vs := Program(p, Options{ContextSize: 8, MultiRRM: true}); len(vs) != 0 {
+		t.Errorf("multi-RRM operands flagged: %v", vs)
+	}
+	// ...fails at size 4 (6 >= 4)...
+	vs := Program(p, Options{ContextSize: 4, MultiRRM: true})
+	if len(vs) != 2 { // c0.r4 and c1.r6
+		t.Fatalf("violations = %v", vs)
+	}
+	// ...and without MultiRRM the raw value 38 is the operand.
+	vs = Program(p, Options{ContextSize: 8})
+	if len(vs) != 1 || vs[0].Operand != 38 {
+		t.Errorf("raw violations = %v", vs)
+	}
+}
+
+func TestLDRRM2OperandChecked(t *testing.T) {
+	// LDRRM2's rs1 is a live operand like any other.
+	p := asm.MustAssemble("ldrrm2 r9\nhalt\n")
+	vs := Program(p, Options{ContextSize: 8, MultiRRM: true})
+	if len(vs) != 1 || vs[0].Field != "rs1" {
+		t.Errorf("violations = %v", vs)
+	}
+}

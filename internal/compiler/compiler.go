@@ -12,7 +12,9 @@ import (
 	"sort"
 
 	"regreloc/internal/alloc"
+	"regreloc/internal/analysis"
 	"regreloc/internal/analytic"
+	"regreloc/internal/asm"
 )
 
 // Function describes one compiled function's register behaviour.
@@ -118,6 +120,37 @@ func (g *CallGraph) ThreadRegisters(entry string, reserved int) (int, error) {
 		return 0, err
 	}
 	return n + reserved, nil
+}
+
+// DeclaredMismatchError reports a declared register budget smaller
+// than what the function's assembled code measurably uses.
+type DeclaredMismatchError struct {
+	Name               string
+	Declared, Measured int
+}
+
+func (e *DeclaredMismatchError) Error() string {
+	return fmt.Sprintf("compiler: %q declares %d registers but its code requires %d",
+		e.Name, e.Declared, e.Measured)
+}
+
+// VerifyFunction cross-checks a function's declared register budget
+// (Live+Scratch, plus the runtime's reserved registers) against its
+// assembled body in p at word addresses [start, end), using the
+// flow-sensitive analyzer's Requirement. The paper's compiler derives
+// these numbers from the code it emits; hand-declared numbers drift,
+// and a declaration smaller than the measured requirement would make
+// the kernel allocate a context the code escapes at run time.
+func VerifyFunction(f Function, p *asm.Program, start, end, reserved int) error {
+	res := analysis.Analyze(p, analysis.Options{
+		Start: start, End: end,
+		Passes: analysis.PassBounds, // CFG + Requirement only; no ContextSize set
+	})
+	declared := f.Live + f.Scratch + reserved
+	if m := res.Requirement(); m > declared {
+		return &DeclaredMismatchError{Name: f.Name, Declared: declared, Measured: m}
+	}
+	return nil
 }
 
 // LinkRequirements merges per-module register requirements for the

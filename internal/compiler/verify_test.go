@@ -1,0 +1,55 @@
+package compiler
+
+import (
+	"errors"
+	"testing"
+
+	"regreloc/internal/asm"
+)
+
+func TestVerifyFunctionMatch(t *testing.T) {
+	// Uses r4..r6 with 4 reserved: requirement 7, declared 4+(2+1)=7.
+	p := asm.MustAssemble("add r6, r4, r5\nhalt\n")
+	f := Function{Name: "leaf", Live: 2, Scratch: 1}
+	if err := VerifyFunction(f, p, 0, 0, 4); err != nil {
+		t.Fatalf("VerifyFunction: %v", err)
+	}
+}
+
+func TestVerifyFunctionMismatch(t *testing.T) {
+	p := asm.MustAssemble("add r9, r4, r5\nhalt\n")
+	f := Function{Name: "leaf", Live: 2, Scratch: 1}
+	err := VerifyFunction(f, p, 0, 0, 4)
+	var mismatch *DeclaredMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("err = %v, want DeclaredMismatchError", err)
+	}
+	if mismatch.Declared != 7 || mismatch.Measured != 10 {
+		t.Errorf("mismatch = %+v", mismatch)
+	}
+}
+
+func TestVerifyFunctionIgnoresDeadCode(t *testing.T) {
+	// The r20 reference after halt is unreachable; only the live body
+	// counts against the declaration, matching ThreadRegisters' view.
+	p := asm.MustAssemble("add r6, r4, r5\nhalt\nadd r20, r4, r5\n")
+	f := Function{Name: "leaf", Live: 2, Scratch: 1}
+	if err := VerifyFunction(f, p, 0, 0, 4); err != nil {
+		t.Fatalf("VerifyFunction: %v", err)
+	}
+}
+
+func TestRequirementMatchesDeclared(t *testing.T) {
+	// The call-graph number and the measured requirement agree for a
+	// leaf whose code uses exactly its declaration.
+	g := NewCallGraph()
+	g.Add(Function{Name: "main", Live: 2, Scratch: 1})
+	declared, err := g.ThreadRegisters("main", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := asm.MustAssemble("add r6, r4, r5\nhalt\n")
+	if err := VerifyFunction(Function{Name: "main", Live: 2, Scratch: 1}, p, 0, 0, 4); err != nil {
+		t.Fatalf("declared %d rejected: %v", declared, err)
+	}
+}

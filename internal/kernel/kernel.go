@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"regreloc/internal/alloc"
+	"regreloc/internal/analysis"
 	"regreloc/internal/asm"
 	"regreloc/internal/isa"
 	"regreloc/internal/machine"
@@ -75,7 +76,7 @@ const YieldSource = `
 	| Caller: jal r0, yield   (saves next PC in R0)
 yield:
 	ldrrm r2      | install next context's relocation mask
-	mfpsw r1      | delay slot: save old PSW into OLD context's R1
+	mfpsw r1      | delay slot: save old PSW into OLD context's R1 (lint:ignore RR203 the Figure 3 trick)
 	mtpsw r1      | restore PSW from NEW context's R1
 	jmp r0        | resume NEW context at its saved PC
 `
@@ -186,6 +187,36 @@ func (k *Kernel) LoadUser(src string) (*asm.Program, error) {
 	k.M.Load(combined, 0)
 	k.Runtime = combined
 	return combined, nil
+}
+
+// LoadUserChecked is LoadUser with the static analyzer applied to the
+// user region first (paper Section 2.4's load-time check): the program
+// is rejected when its flow-sensitive register requirement exceeds
+// ctxSize, or when any error-severity diagnostic — an out-of-context
+// operand in reachable code, a branch into an LDRRM delay slot, an
+// unaligned relocation mask — is found. lint:ignore directives in the
+// user source suppress intentional hazards.
+func (k *Kernel) LoadUserChecked(src string, ctxSize int) (*asm.Program, error) {
+	combined := fmt.Sprintf("%s\n.org %d\n%s", RuntimeSource(), UserBase, src)
+	res, err := analysis.AnalyzeSource(combined, analysis.Options{
+		ContextSize: ctxSize,
+		Start:       UserBase,
+		MultiRRM:    k.M.Config().MultiRRM,
+		DelaySlots:  k.M.Config().LDRRMDelaySlots,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if req := res.Requirement(); req > ctxSize {
+		return nil, fmt.Errorf("kernel: user code requires %d registers but the context holds %d",
+			req, ctxSize)
+	}
+	for _, d := range res.Diags {
+		if d.Severity == analysis.Error {
+			return nil, fmt.Errorf("kernel: user code rejected: %s", d)
+		}
+	}
+	return k.LoadUser(src)
 }
 
 // YieldAddr returns the address of the yield routine.

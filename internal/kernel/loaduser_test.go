@@ -1,0 +1,77 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadUserCheckedAccepts(t *testing.T) {
+	k := newKernel(t)
+	p, err := k.LoadUserChecked("user:\nmovi r4, 5\nadd r5, r4, r4\nhalt\n", 8)
+	if err != nil {
+		t.Fatalf("LoadUserChecked: %v", err)
+	}
+	if _, ok := p.Symbols["user"]; !ok {
+		t.Error("combined image missing user symbol")
+	}
+}
+
+func TestLoadUserCheckedRejectsOverRequirement(t *testing.T) {
+	k := newKernel(t)
+	_, err := k.LoadUserChecked("user:\nadd r9, r4, r4\nhalt\n", 8)
+	if err == nil || !strings.Contains(err.Error(), "requires") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadUserCheckedRejectsErrorDiagnostics(t *testing.T) {
+	// A branch into an LDRRM delay slot is an error-severity hazard
+	// even though every operand is in bounds.
+	k := newKernel(t)
+	src := `user:
+	movi r4, 0
+	movi r5, 1
+	bne r5, r0, over
+	ldrrm r4
+over:
+	nop
+	halt
+`
+	_, err := k.LoadUserChecked(src, 8)
+	if err == nil || !strings.Contains(err.Error(), "RR202") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadUserCheckedHonorsSuppressions(t *testing.T) {
+	// The same hazard pinned as intentional loads fine: warnings and
+	// suppressed findings do not reject.
+	k := newKernel(t)
+	src := `user:
+	movi r4, 0
+	movi r5, 1
+	bne r5, r0, over ; lint:ignore RR202 exercised deliberately
+	ldrrm r4
+over:
+	nop
+	halt
+`
+	if _, err := k.LoadUserChecked(src, 8); err != nil {
+		t.Fatalf("suppressed hazard rejected: %v", err)
+	}
+}
+
+func TestLintTargetsCoverage(t *testing.T) {
+	names := map[string]bool{}
+	for _, target := range LintTargets() {
+		names[target.Name] = true
+		if target.Source == "" || target.ContextSize < 1 {
+			t.Errorf("degenerate target %+v", target)
+		}
+	}
+	for _, want := range []string{"runtime", "allocator", "manager-stubs", "worker"} {
+		if !names[want] {
+			t.Errorf("missing lint target %q", want)
+		}
+	}
+}

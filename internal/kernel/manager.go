@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"regreloc/internal/asm"
+	"regreloc/internal/isa"
 	"regreloc/internal/machine"
 )
 
@@ -98,7 +99,7 @@ mgr_park:
 	| sched r7 (the load routine), read in the LDRRM delay slot.
 mgr_enter:
 	ldrrm r6
-	jmp r7
+	jmp r7   | lint:ignore RR201 reads the scheduler's r7 in the slot on purpose
 
 	| mgr_relink: write sched r5 into the NextRRM register (R2) of the
 	| context selected by RRM1. Sched r6 holds the packed masks
@@ -122,6 +123,39 @@ mgr_call:
 mgr_done:
 	halt
 `
+
+// ManagerStubsSource returns the scheduler stub assembly, exported so
+// the static analyzer (cmd/rrcheck -kernel and the self-check tests)
+// can lint it alongside the other kernel routines.
+func ManagerStubsSource() string { return managerStubs }
+
+// LintTarget is one kernel assembly routine group with the analyzer
+// options it must satisfy.
+type LintTarget struct {
+	// Name identifies the group in reports.
+	Name string
+	// Source is the assembly.
+	Source string
+	// ContextSize is the register budget the group is held to.
+	ContextSize int
+	// MultiRRM marks groups using the Section 5.3 extension.
+	MultiRRM bool
+}
+
+// LintTargets enumerates every kernel assembly routine for
+// self-application of the static analyzer: the Figure 3 switch and
+// Section 2.5 load/unload routines (full 64-register contexts), the
+// Appendix A allocator and the manager stubs (which run in the
+// scheduler's 16-register context), and the managed worker template
+// (8-register thread images).
+func LintTargets() []LintTarget {
+	return []LintTarget{
+		{Name: "runtime", Source: RuntimeSource(), ContextSize: isa.MaxContextSize},
+		{Name: "allocator", Source: AllocASMSource(), ContextSize: 16},
+		{Name: "manager-stubs", Source: ManagerStubsSource(), ContextSize: 16, MultiRRM: true},
+		{Name: "worker", Source: WorkerSource(), ContextSize: 8},
+	}
+}
 
 // WorkerSource returns generic managed-thread code: run Iters work
 // segments (each ending in a FAULT that yields the processor), then

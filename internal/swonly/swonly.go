@@ -109,8 +109,13 @@ func Relocate(p *asm.Program, base, size int) (*asm.Program, error) {
 		Words:   make([]isa.Word, len(p.Words)),
 		Symbols: p.Symbols,
 		Source:  p.Source,
+		Data:    p.Data,
 	}
 	for addr, w := range p.Words {
+		if p.IsData(addr) || p.IsPadding(addr) {
+			out.Words[addr] = w
+			continue
+		}
 		in := isa.Decode(w)
 		usesRd, usesRs1, usesRs2, _ := isa.RegisterFields(in.Op)
 		shift := func(field string, used bool, v int) (int, error) {

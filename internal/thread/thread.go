@@ -9,6 +9,8 @@ import (
 	"fmt"
 
 	"regreloc/internal/alloc"
+	"regreloc/internal/analysis"
+	"regreloc/internal/asm"
 	"regreloc/internal/sim"
 )
 
@@ -97,6 +99,30 @@ func (t *Thread) UnloadCost() int64 { return int64(t.Regs) + LoadOverhead }
 // LoadOverhead is the fixed software overhead, in cycles, added to
 // every context load and unload (blocking/unblocking bookkeeping).
 const LoadOverhead = 10
+
+// ValidateProgram checks the thread's code in p at word addresses
+// [start, end) against its declared register requirement C using the
+// flow-sensitive analyzer: the loader must reject a program whose
+// measured requirement exceeds the context the declaration will have
+// allocated, or whose reachable code references registers outside it
+// (paper Section 2.4). end = 0 means the rest of the program.
+func (t *Thread) ValidateProgram(p *asm.Program, start, end int) error {
+	res := analysis.Analyze(p, analysis.Options{
+		ContextSize: t.Regs,
+		Start:       start, End: end,
+		Passes: analysis.PassBounds,
+	})
+	if req := res.Requirement(); req > t.Regs {
+		return fmt.Errorf("thread %d: code requires %d registers but declares C=%d",
+			t.ID, req, t.Regs)
+	}
+	for _, d := range res.Diags {
+		if d.Severity == analysis.Error {
+			return fmt.Errorf("thread %d: %s", t.ID, d)
+		}
+	}
+	return nil
+}
 
 // Resident reports whether the thread currently holds a context.
 func (t *Thread) Resident() bool {

@@ -1,0 +1,56 @@
+package thread
+
+import (
+	"strings"
+	"testing"
+
+	"regreloc/internal/asm"
+)
+
+func TestValidateProgramAccepts(t *testing.T) {
+	th := New(0, 8, 100)
+	p := asm.MustAssemble("movi r1, 5\nadd r2, r1, r1\nhalt\n")
+	if err := th.ValidateProgram(p, 0, 0); err != nil {
+		t.Fatalf("ValidateProgram: %v", err)
+	}
+}
+
+func TestValidateProgramRejectsOverRequirement(t *testing.T) {
+	th := New(0, 8, 100)
+	p := asm.MustAssemble("add r9, r1, r1\nhalt\n")
+	err := th.ValidateProgram(p, 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "declares C=8") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateProgramRejectsFlowIntoData(t *testing.T) {
+	// Requirement fits, but execution falls into a data word: an
+	// error-severity diagnostic must still reject the load.
+	th := New(0, 8, 100)
+	p := asm.MustAssemble("movi r1, 1\n.word 0\n")
+	if err := th.ValidateProgram(p, 0, 0); err == nil {
+		t.Fatal("flow into data accepted")
+	}
+}
+
+func TestValidateProgramIgnoresDeadCode(t *testing.T) {
+	th := New(0, 8, 100)
+	p := asm.MustAssemble("halt\nadd r20, r1, r1\n")
+	if err := th.ValidateProgram(p, 0, 0); err != nil {
+		t.Fatalf("dead code rejected: %v", err)
+	}
+}
+
+func TestValidateProgramWindow(t *testing.T) {
+	// Two threads in one image: validating B's range against B's
+	// declaration ignores A's wider code.
+	th := New(1, 8, 100)
+	p := asm.MustAssemble("movi r20, 1\nhalt\nmovi r2, 1\nhalt\n")
+	if err := th.ValidateProgram(p, 2, 4); err != nil {
+		t.Fatalf("windowed validate: %v", err)
+	}
+	if err := th.ValidateProgram(p, 0, 2); err == nil {
+		t.Fatal("A's code accepted against B's declaration")
+	}
+}

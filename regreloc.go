@@ -5,6 +5,7 @@ import (
 	"regreloc/internal/analytic"
 	"regreloc/internal/asm"
 	"regreloc/internal/cache"
+	"regreloc/internal/analysis"
 	"regreloc/internal/check"
 	"regreloc/internal/compiler"
 	"regreloc/internal/experiment"
@@ -230,9 +231,36 @@ type (
 )
 
 // CheckProgram statically verifies that a binary stays within its
-// declared context (paper Section 2.4).
+// declared context (paper Section 2.4) using the flat flow-insensitive
+// scan; AnalyzeProgram is the flow-sensitive analyzer.
 func CheckProgram(p *Program, opts CheckOptions) []CheckViolation {
 	return check.Program(p, opts)
+}
+
+// Flow-sensitive static analysis (Section 2.4, grown into a real
+// analyzer: CFG, liveness, hazards, derived requirements).
+type (
+	// AnalysisOptions configures the flow-sensitive analyzer.
+	AnalysisOptions = analysis.Options
+	// AnalysisResult is a completed analysis (diagnostics, liveness,
+	// derived register requirement).
+	AnalysisResult = analysis.Result
+	// AnalysisDiagnostic is one analyzer finding.
+	AnalysisDiagnostic = analysis.Diagnostic
+)
+
+// AnalyzeProgram runs the flow-sensitive analyzer over an assembled
+// binary: reachability-aware context-boundary checks, LDRRM delay-slot
+// hazards, relocation-mask validation, and the minimal context
+// Requirement().
+func AnalyzeProgram(p *Program, opts AnalysisOptions) *AnalysisResult {
+	return analysis.Analyze(p, opts)
+}
+
+// AnalyzeSource assembles src and analyzes it, honoring lint:ignore
+// suppression comments.
+func AnalyzeSource(src string, opts AnalysisOptions) (*AnalysisResult, error) {
+	return analysis.AnalyzeSource(src, opts)
 }
 
 // NewCallGraph returns an empty call graph for register-requirement
