@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint-asm bench examples figures data clean
+.PHONY: all build test test-race vet lint-asm bench examples figures data serve-smoke clean
 
 all: test
 
@@ -15,10 +15,16 @@ vet:
 test: vet
 	$(GO) test ./...
 
-# Race-detect the concurrent experiment harness and the event queue it
-# drives.
+# Race-detect the concurrent experiment harness, the event queue it
+# drives, and the serving layer (queue + worker pool + cache).
 test-race:
-	$(GO) test -race ./internal/experiment/... ./internal/sim/...
+	$(GO) test -race ./internal/experiment/... ./internal/sim/... ./internal/serve/... ./cmd/rrserved/...
+
+# End-to-end smoke test of the rrserved daemon: boot, submit a sweep
+# over HTTP, poll to completion, check cache + metrics counters, drain
+# via SIGTERM.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Static-analyze every assembly routine the repo ships: the kernel
 # runtime (Figure 3 switch, load/unload), the context allocators, the

@@ -1,0 +1,128 @@
+// Command rrserved serves the paper's experiments over HTTP: a job
+// queue and worker pool run sweeps on demand, and a content-addressed
+// result cache — sound because the engine is byte-identical for a
+// given (experiment, seed, scale, grids) — answers repeated
+// submissions without re-simulating.
+//
+// Usage:
+//
+//	rrserved -addr 127.0.0.1:8347 -queue 64 -workers 2
+//	rrserved -cache-dir /var/cache/rrserved -cache-bytes 67108864
+//
+// API (see docs/serve.md for the full reference):
+//
+//	GET    /v1/experiments   list runnable experiments
+//	POST   /v1/jobs          submit {"experiment","seed","scale","f","r","l"}
+//	GET    /v1/jobs/{id}     job status + result
+//	DELETE /v1/jobs/{id}     cancel a job
+//	GET    /metrics          Prometheus text metrics
+//	GET    /healthz, /readyz liveness and readiness
+//
+// SIGINT/SIGTERM drain gracefully: submissions are refused, queued and
+// running jobs get -drain-timeout to finish (then their contexts are
+// cancelled), and the disk cache index is persisted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"regreloc/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr, nil, nil))
+}
+
+// run implements the daemon; it returns the process exit status. stop
+// (optional) triggers the same graceful drain as SIGTERM; ready
+// (optional) receives the bound listen address once serving.
+func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- string) int {
+	fs := flag.NewFlagSet("rrserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8347", "listen address")
+		queueCap     = fs.Int("queue", 64, "job queue capacity (full queue returns 429)")
+		workers      = fs.Int("workers", 2, "job worker pool size")
+		pointWorkers = fs.Int("point-workers", 0, "engine workers per job: 0 = one per core")
+		jobTimeout   = fs.Duration("job-timeout", 10*time.Minute, "per-job execution deadline")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+		cacheBytes   = fs.Int64("cache-bytes", 64<<20, "in-memory result cache budget in bytes")
+		cacheDir     = fs.String("cache-dir", "", "directory for the disk cache tier (empty = memory only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *queueCap < 1 || *workers < 1 {
+		fmt.Fprintln(stderr, "rrserved: -queue and -workers must be >= 1")
+		return 2
+	}
+	logger := log.New(stderr, "rrserved ", log.LstdFlags|log.Lmsgprefix)
+
+	srv, err := serve.New(serve.Config{
+		QueueCap:     *queueCap,
+		Workers:      *workers,
+		PointWorkers: *pointWorkers,
+		JobTimeout:   *jobTimeout,
+		CacheBytes:   *cacheBytes,
+		CacheDir:     *cacheDir,
+		Logger:       logger,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "rrserved: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rrserved: %v\n", err)
+		return 1
+	}
+	srv.Start()
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	logger.Printf("listening on http://%s (queue=%d workers=%d cache=%dB dir=%q)",
+		ln.Addr(), *queueCap, *workers, *cacheBytes, *cacheDir)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errCh:
+		logger.Printf("serve error: %v", err)
+		return 1
+	case s := <-sig:
+		logger.Printf("received %v, draining (deadline %v)", s, *drainTimeout)
+	case <-stop:
+		logger.Printf("stop requested, draining (deadline %v)", *drainTimeout)
+	}
+
+	// Drain the job layer first — submissions are refused but clients
+	// can keep polling their jobs over HTTP until the pool is idle —
+	// then close the HTTP server.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer httpCancel()
+	hs.Shutdown(httpCtx)
+	if drainErr != nil {
+		logger.Printf("shutdown: %v", drainErr)
+		return 1
+	}
+	logger.Printf("drained cleanly")
+	return 0
+}

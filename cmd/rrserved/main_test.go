@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if got := run([]string{"-bogus"}, &buf, nil, nil); got != 2 {
+		t.Errorf("bad flag exit = %d, want 2", got)
+	}
+	buf.Reset()
+	if got := run([]string{"-queue", "0"}, &buf, nil, nil); got != 2 {
+		t.Errorf("-queue 0 exit = %d, want 2", got)
+	}
+	if !strings.Contains(buf.String(), "must be >= 1") {
+		t.Errorf("missing usage message: %q", buf.String())
+	}
+}
+
+// TestDaemonLifecycle drives the daemon end to end in-process: boot,
+// readiness, a tiny sweep over HTTP, cached resubmission, metrics,
+// and graceful drain.
+func TestDaemonLifecycle(t *testing.T) {
+	stop := make(chan struct{})
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-queue", "4",
+			"-workers", "1",
+			"-point-workers", "2",
+			"-cache-dir", t.TempDir(),
+			"-drain-timeout", "10s",
+		}, io.Discard, stop, ready)
+	}()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case code := <-exit:
+		t.Fatalf("daemon exited early with %d", code)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("readyz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	submit := func() (int, map[string]any) {
+		body := `{"experiment":"figure5","seed":1,"scale":"quick","f":[64],"r":[8],"l":[16]}`
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	code, job := submit()
+	if code != http.StatusCreated {
+		t.Fatalf("submit status = %d (%v)", code, job)
+	}
+	id := job["id"].(string)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st map[string]any
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if st["state"] == "done" {
+			break
+		}
+		if st["state"] == "failed" || st["state"] == "canceled" {
+			t.Fatalf("job ended %v: %v", st["state"], st["error"])
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Resubmission is a cache hit, answered terminally at submit time.
+	code, job = submit()
+	if code != http.StatusOK || job["cached"] != true {
+		t.Fatalf("resubmit: status=%d cached=%v", code, job["cached"])
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"rrserve_engine_runs_total 1",
+		"rrserve_cache_hits_total 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	close(stop)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("drain exit = %d, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}

@@ -99,19 +99,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	for _, e := range exps {
 		// Live progress (throttled) plus a wall-time summary per
-		// experiment, both on stderr so piped output stays clean.
+		// experiment, both on stderr so piped output stays clean. The
+		// hook rides on the per-run Scale rather than the deprecated
+		// process-global experiment.SetProgress.
 		start := time.Now()
 		lastUpdate := start
-		experiment.SetProgress(func(done, total int) {
+		runScale := sc
+		runScale.Progress = func(done, total int) {
 			if time.Since(lastUpdate) < time.Second || done == total {
 				return
 			}
 			lastUpdate = time.Now()
 			fmt.Fprintf(stderr, "rrsim: %s: %d/%d points (%.1f points/s)\n",
 				e.ID, done, total, float64(done)/time.Since(start).Seconds())
-		})
-		report := e.Run(*seed, sc)
-		experiment.SetProgress(nil)
+		}
+		report := e.Run(*seed, runScale)
+		if report.Err != nil {
+			fmt.Fprintf(stderr, "rrsim: %s: interrupted: %v\n", e.ID, report.Err)
+			return 1
+		}
 		if secs := time.Since(start).Seconds(); len(report.Points) > 0 && secs > 0 {
 			fmt.Fprintf(stderr, "rrsim: %s: %d points in %.2fs (%.1f points/s)\n",
 				e.ID, len(report.Points), secs, float64(len(report.Points))/secs)

@@ -128,7 +128,7 @@ func init() {
 			sizes := []int{8, 16, 32}
 			cycles := make([]int64, len(sizes))
 			errs := make([]error, len(sizes))
-			forEach(scale.workers(), len(sizes), func(i int) {
+			r.Err = scale.forEach(len(sizes), func(i int) {
 				cycles[i], errs[i] = MeasureUnload(sizes[i])
 			})
 			for i, n := range sizes {

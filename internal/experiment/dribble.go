@@ -36,7 +36,7 @@ func init() {
 			}
 			fixedBase := func(f int) node.Config { return node.FixedConfig(f, policy.TwoPhase{}, 8) }
 			flexBase := func(f int) node.Config { return node.FlexibleConfig(f, policy.TwoPhase{}, 8) }
-			r.Points = sweep(seed, scale, []int{64}, []int{32}, syncLs,
+			sweepInto(r, seed, scale, []int{64}, []int{32}, syncLs,
 				func(rl, l int, work int64) workload.Spec {
 					return workload.SyncFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
 				},

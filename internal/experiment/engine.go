@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,11 @@ import (
 //     independent, instead of replaying one stream per cell.
 //   - Results are written by point index and flattened in list order,
 //     so Report.Points stays panel-major regardless of worker count.
+//
+// The engine is also cancellable: Scale carries a context
+// (Scale.WithContext), checked between points, so a long sweep whose
+// consumer has gone away stops burning worker cycles mid-grid. A
+// cancelled run returns the completed cells plus the context error.
 
 // point is one schedulable measurement cell: a pre-derived seed plus
 // the function producing the cell's measurements. run must not touch
@@ -28,39 +34,58 @@ type point struct {
 }
 
 // execute runs the points on Scale.Workers goroutines (0 = all cores)
-// and returns their measurements flattened in point order.
-func execute(scale Scale, pts []point) []Measurement {
+// and returns their measurements flattened in point order. When the
+// scale's context is cancelled mid-sweep the flattened completed cells
+// are returned together with the context error; cells not yet started
+// are skipped.
+func execute(scale Scale, pts []point) ([]Measurement, error) {
 	results := make([][]Measurement, len(pts))
-	forEach(scale.workers(), len(pts), func(i int) {
+	err := scale.forEach(len(pts), func(i int) {
 		results[i] = pts[i].run(pts[i].seed)
 	})
 	var out []Measurement
 	for _, ms := range results {
 		out = append(out, ms...)
 	}
-	return out
+	return out, err
 }
 
-// forEach runs fn(0), ..., fn(n-1) on a pool of workers goroutines
-// (0 or negative = runtime.GOMAXPROCS) and reports completion counts
-// to the progress hook. Iterations must be independent: fn is called
+// forEach runs fn(0), ..., fn(n-1) on the scale's worker pool,
+// reporting completion counts to the scale's progress hook and
+// honouring its context. Iterations must be independent: fn is called
 // concurrently with distinct arguments and must not touch shared
 // state. Heterogeneous experiments (those whose cells produce notes or
 // need error handling) use it directly with an indexed results slice;
 // grid sweeps go through execute.
-func forEach(workers, n int, fn func(i int)) {
+func (s Scale) forEach(n int, fn func(i int)) error {
+	return forEach(s.Context(), s.workers(), n, s.progressHook(), fn)
+}
+
+// forEach is the engine core. workers <= 0 means one per core. The
+// context is polled between iterations: already-running iterations
+// complete, unstarted ones are abandoned, and the context error is
+// returned. progress may be nil.
+func forEach(ctx context.Context, workers, n int, progress func(done, total int), fn func(i int)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	report := func(done int) {
+		if progress != nil {
+			progress(done, n)
+		}
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
-			reportProgress(i+1, n)
+			report(i + 1)
 		}
-		return
+		return ctx.Err()
 	}
 	var next, done atomic.Int64
 	var wg sync.WaitGroup
@@ -69,16 +94,44 @@ func forEach(workers, n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				fn(i)
-				reportProgress(int(done.Add(1)), n)
+				report(int(done.Add(1)))
 			}
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
+}
+
+// progressHook combines the per-call Scale.Progress hook with the
+// deprecated package-global one. Calls are serialized by a mutex so
+// hooks need no locking of their own; with concurrent workers the done
+// values may arrive slightly out of order, but each value appears
+// exactly once and the final call carries done == total.
+func (s Scale) progressHook() func(done, total int) {
+	perCall := s.Progress
+	progressMu.Lock()
+	global := progressFn
+	progressMu.Unlock()
+	if perCall == nil && global == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if perCall != nil {
+			perCall(done, total)
+		}
+		reportProgress(done, total)
+	}
 }
 
 var (
@@ -86,11 +139,14 @@ var (
 	progressFn func(done, total int)
 )
 
-// SetProgress installs a hook receiving (points completed, total
-// points) updates as an experiment's cells finish; nil uninstalls it.
-// Invocations are serialized even when points run concurrently, so the
-// hook needs no locking of its own. It is called inline from worker
-// goroutines and should return quickly.
+// SetProgress installs a process-wide hook receiving (points completed,
+// total points) updates as an experiment's cells finish; nil uninstalls
+// it.
+//
+// Deprecated: the global hook interleaves updates when experiments run
+// concurrently (e.g. from different server jobs). Set Scale.Progress on
+// the scale passed to the run instead; SetProgress remains as a shim
+// for single-run tools and is combined with the per-call hook.
 func SetProgress(fn func(done, total int)) {
 	progressMu.Lock()
 	progressFn = fn

@@ -1,9 +1,13 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -11,11 +15,13 @@ func TestForEachCoversAllIndices(t *testing.T) {
 		const n = 37
 		var mu sync.Mutex
 		counts := make([]int, n)
-		forEach(workers, n, func(i int) {
+		if err := forEach(context.Background(), workers, n, nil, func(i int) {
 			mu.Lock()
 			counts[i]++
 			mu.Unlock()
-		})
+		}); err != nil {
+			t.Fatalf("workers=%d: forEach: %v", workers, err)
+		}
 		for i, c := range counts {
 			if c != 1 {
 				t.Errorf("workers=%d: fn(%d) ran %d times", workers, i, c)
@@ -39,9 +45,78 @@ func TestForEachProgressReachesTotal(t *testing.T) {
 		}
 	})
 	defer SetProgress(nil)
-	forEach(4, 10, func(int) {})
+	if err := (Scale{Workers: 4}).forEach(10, func(int) {}); err != nil {
+		t.Fatalf("forEach: %v", err)
+	}
 	if calls != 10 || last != 10 {
 		t.Errorf("progress calls = %d, max done = %d", calls, last)
+	}
+}
+
+// TestScaleProgressHookIsPerCall checks that Scale.Progress observes a
+// run's updates without touching the deprecated process-global hook.
+func TestScaleProgressHookIsPerCall(t *testing.T) {
+	var mu sync.Mutex
+	var calls, last int
+	s := Scale{Workers: 3, Progress: func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if total != 12 {
+			t.Errorf("total = %d", total)
+		}
+		if done > last {
+			last = done
+		}
+	}}
+	if err := s.forEach(12, func(int) {}); err != nil {
+		t.Fatalf("forEach: %v", err)
+	}
+	if calls != 12 || last != 12 {
+		t.Errorf("progress calls = %d, max done = %d", calls, last)
+	}
+}
+
+// TestForEachCancellation is the satellite guarantee behind the serve
+// daemon's job cancellation: a cancelled context stops the engine from
+// dispatching further points, promptly, and surfaces the context error.
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := forEach(ctx, 2, 1000, nil, func(i int) {
+		if started.Add(1) == 2 {
+			cancel()
+		}
+		time.Sleep(2 * time.Millisecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 100 {
+		t.Errorf("cancellation not prompt: %d of 1000 points started", n)
+	}
+}
+
+// TestCancelledSweepReturnsPartialReport runs a real experiment with an
+// already-cancelled context: the report must come back immediately with
+// Err set and no (or almost no) points rather than a full grid.
+func TestCancelledSweepReturnsPartialReport(t *testing.T) {
+	e, ok := Get("figure5")
+	if !ok {
+		t.Fatal("figure5 not registered")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	r := e.Run(1, tiny.WithContext(ctx))
+	if !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("Report.Err = %v, want context.Canceled", r.Err)
+	}
+	if len(r.Points) != 0 {
+		t.Errorf("cancelled-before-start sweep produced %d points", len(r.Points))
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancelled sweep took %v", d)
 	}
 }
 
@@ -55,7 +130,10 @@ func TestExecutePreservesPointOrder(t *testing.T) {
 			},
 		})
 	}
-	out := execute(Scale{Workers: 8}, pts)
+	out, err := execute(Scale{Workers: 8}, pts)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
 	if len(out) != 100 {
 		t.Fatalf("measurements = %d", len(out))
 	}

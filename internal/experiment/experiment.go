@@ -7,6 +7,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -33,6 +34,35 @@ type Scale struct {
 	// is identical for every setting; per-point seed derivation makes
 	// results independent of execution order.
 	Workers int
+	// Progress, if non-nil, receives (points completed, total points)
+	// updates as the run's cells finish. Calls are serialized, so the
+	// hook needs no locking of its own; it runs inline on worker
+	// goroutines and should return quickly. Unlike the deprecated
+	// package-global SetProgress hook, Progress is scoped to the runs
+	// using this Scale, so concurrent experiments do not interleave.
+	Progress func(done, total int)
+
+	// ctx carries cancellation into the engine; set via WithContext.
+	// nil means context.Background().
+	ctx context.Context
+}
+
+// WithContext returns a copy of the scale whose runs are cancelled
+// when ctx is. Cancellation is checked between sweep points: running
+// cells complete, unstarted ones are abandoned, and the resulting
+// Report carries the completed cells plus a non-nil Err.
+func (s Scale) WithContext(ctx context.Context) Scale {
+	s.ctx = ctx
+	return s
+}
+
+// Context returns the scale's cancellation context, defaulting to
+// context.Background().
+func (s Scale) Context() context.Context {
+	if s.ctx == nil {
+		return context.Background()
+	}
+	return s.ctx
 }
 
 // Scales used by tests, benchmarks, and the CLI.
@@ -81,6 +111,11 @@ type Report struct {
 	Notes []string
 	// Points are all measurements, ordered panel-major.
 	Points []Measurement
+	// Err is non-nil when the run was interrupted (typically by
+	// context cancellation): Points then holds only the cells that
+	// completed, and the report must not be treated — or cached — as a
+	// full reproduction.
+	Err error
 }
 
 // Panels returns the distinct panel names in first-seen order.
@@ -117,6 +152,33 @@ func (r *Report) Find(panel, arch string, rl, lat int) (Measurement, bool) {
 	return Measurement{}, false
 }
 
+// Grids optionally overrides a sweep experiment's parameter grids —
+// register file sizes F, run lengths R, and latencies L. A nil slice
+// keeps the experiment's published default for that axis. Grid order
+// is significant: it determines the panel-major order of the report's
+// points, so two requests with the same values in different orders are
+// distinct (and hash differently in content-addressed caches).
+type Grids struct {
+	F, R, L []int
+}
+
+// Empty reports whether no axis is overridden.
+func (g Grids) Empty() bool { return len(g.F) == 0 && len(g.R) == 0 && len(g.L) == 0 }
+
+// or fills unset axes from the given defaults.
+func (g Grids) or(f, r, l []int) Grids {
+	if len(g.F) == 0 {
+		g.F = f
+	}
+	if len(g.R) == 0 {
+		g.R = r
+	}
+	if len(g.L) == 0 {
+		g.L = l
+	}
+	return g
+}
+
 // Experiment is a registered, runnable reproduction of one table or
 // figure.
 type Experiment struct {
@@ -124,6 +186,11 @@ type Experiment struct {
 	Title       string
 	Description string
 	Run         func(seed uint64, scale Scale) *Report
+	// RunGrid, when non-nil, runs the experiment over caller-chosen
+	// parameter grids (empty axes keep the defaults). Grid-based sweep
+	// experiments set it so services can compute exactly the cells a
+	// client asks for; Run is then the zero-override special case.
+	RunGrid func(seed uint64, scale Scale, g Grids) *Report
 }
 
 var registry = map[string]Experiment{}
@@ -132,6 +199,10 @@ var registryOrder []string
 func register(e Experiment) {
 	if _, dup := registry[e.ID]; dup {
 		panic("experiment: duplicate id " + e.ID)
+	}
+	if e.Run == nil && e.RunGrid != nil {
+		rg := e.RunGrid
+		e.Run = func(seed uint64, scale Scale) *Report { return rg(seed, scale, Grids{}) }
 	}
 	registry[e.ID] = e
 	registryOrder = append(registryOrder, e.ID)
@@ -170,7 +241,7 @@ type archSpec struct {
 // cells are statistically independent (no replayed streams across the
 // grid) and execution order cannot affect the Report.
 func sweep(seed uint64, scale Scale, fs, rs, ls []int,
-	mkSpec func(r, l int, work int64) workload.Spec, archs []archSpec) []Measurement {
+	mkSpec func(r, l int, work int64) workload.Spec, archs []archSpec) ([]Measurement, error) {
 
 	var pts []point
 	for _, f := range fs {
@@ -194,6 +265,13 @@ func sweep(seed uint64, scale Scale, fs, rs, ls []int,
 		}
 	}
 	return execute(scale, pts)
+}
+
+// sweepInto runs sweep and records the result on the report, keeping
+// the partial points and the interruption error together.
+func sweepInto(r *Report, seed uint64, scale Scale, fs, rs, ls []int,
+	mkSpec func(rl, l int, work int64) workload.Spec, archs []archSpec) {
+	r.Points, r.Err = sweep(seed, scale, fs, rs, ls, mkSpec, archs)
 }
 
 // Curves groups a panel's measurements into (arch, R) curves sorted by

@@ -50,7 +50,8 @@ func init() {
 		Description: "Efficiency vs constant memory latency L for F = 64/128/256 " +
 			"registers, geometric run lengths R = 8/32/128, C ~ U[6,24], S = 6, " +
 			"contexts never unloaded.",
-		Run: func(seed uint64, scale Scale) *Report {
+		RunGrid: func(seed uint64, scale Scale, g Grids) *Report {
+			g = g.or(fileSizes, cacheRs, cacheLs)
 			r := &Report{
 				ID:    "figure5",
 				Title: "Figure 5: Tolerating Cache Faults",
@@ -59,7 +60,7 @@ func init() {
 					"contexts, with higher efficiency over a wide range of L and R.",
 				},
 			}
-			r.Points = sweep(seed, scale, fileSizes, cacheRs, cacheLs,
+			sweepInto(r, seed, scale, g.F, g.R, g.L,
 				func(rl, l int, work int64) workload.Spec {
 					return workload.CacheFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
 				},
@@ -74,7 +75,8 @@ func init() {
 		Description: "Efficiency vs exponential synchronization latency L for " +
 			"F = 64/128/256, R = 32/128/512, C ~ U[6,24], S = 8, competitive " +
 			"two-phase unloading.",
-		Run: func(seed uint64, scale Scale) *Report {
+		RunGrid: func(seed uint64, scale Scale, g Grids) *Report {
+			g = g.or(fileSizes, syncRs, syncLs)
 			r := &Report{
 				ID:    "figure6",
 				Title: "Figure 6: Tolerating Synchronization Faults",
@@ -85,7 +87,7 @@ func init() {
 					"contexts win marginally.",
 				},
 			}
-			r.Points = sweep(seed, scale, fileSizes, syncRs, syncLs,
+			sweepInto(r, seed, scale, g.F, g.R, g.L,
 				func(rl, l int, work int64) workload.Spec {
 					return workload.SyncFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
 				},
@@ -101,7 +103,8 @@ func init() {
 			"lookup-table allocator (two context sizes, direct table lookup), " +
 			"verifying that lower allocation costs restore register relocation's " +
 			"advantage in the churn regime.",
-		Run: func(seed uint64, scale Scale) *Report {
+		RunGrid: func(seed uint64, scale Scale, g Grids) *Report {
+			g = g.or([]int{64}, syncRs, syncLs)
 			r := &Report{
 				ID:    "figure6a-cheap",
 				Title: "Section 3.3: Figure 6(a) rerun with cheap allocation",
@@ -111,7 +114,7 @@ func init() {
 					"fixed-size contexts.",
 				},
 			}
-			r.Points = sweep(seed, scale, []int{64}, syncRs, syncLs,
+			sweepInto(r, seed, scale, g.F, g.R, g.L,
 				func(rl, l int, work int64) workload.Spec {
 					return workload.SyncFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
 				},
@@ -133,7 +136,8 @@ func init() {
 			Description: fmt.Sprintf("Cache-fault experiments with every thread "+
 				"requiring exactly %d registers; smaller homogeneous contexts give "+
 				"register relocation substantially larger relative gains.", c),
-			Run: func(seed uint64, scale Scale) *Report {
+			RunGrid: func(seed uint64, scale Scale, g Grids) *Report {
+				g = g.or(fileSizes, cacheRs, cacheLs)
 				r := &Report{
 					ID:    id,
 					Title: title,
@@ -143,7 +147,7 @@ func init() {
 						"larger.",
 					},
 				}
-				r.Points = sweep(seed, scale, fileSizes, cacheRs, cacheLs,
+				sweepInto(r, seed, scale, g.F, g.R, g.L,
 					func(rl, l int, work int64) workload.Spec {
 						return workload.CacheFaults(rl, l, rng.Constant{Value: c}, scale.Threads, work)
 					},
@@ -163,7 +167,8 @@ func init() {
 			"coarse needing 24) — the paper's motivating case for dividing the " +
 			"register file 'into different combinations of context sizes, " +
 			"supporting a mix of both coarse and fine-grained threads'.",
-		Run: func(seed uint64, scale Scale) *Report {
+		RunGrid: func(seed uint64, scale Scale, g Grids) *Report {
+			g = g.or(fileSizes, cacheRs, cacheLs)
 			r := &Report{
 				ID:    "mixed-granularity",
 				Title: "Section 2: mixed coarse- and fine-grained threads",
@@ -173,7 +178,7 @@ func init() {
 				},
 			}
 			bimodal := rng.NewWeighted([]int{6, 24}, []float64{4, 1})
-			r.Points = sweep(seed, scale, fileSizes, cacheRs, cacheLs,
+			sweepInto(r, seed, scale, g.F, g.R, g.L,
 				func(rl, l int, work int64) workload.Spec {
 					return workload.CacheFaults(rl, l, bimodal, scale.Threads, work)
 				},
@@ -188,7 +193,8 @@ func init() {
 		Description: "Workloads with both fault types superposed (cache faults at " +
 			"R=32, L=64 plus synchronization faults at the swept R and L); the " +
 			"paper reports similar results with a higher overall fault rate.",
-		Run: func(seed uint64, scale Scale) *Report {
+		RunGrid: func(seed uint64, scale Scale, g Grids) *Report {
+			g = g.or(fileSizes, syncRs, syncLs)
 			r := &Report{
 				ID:    "combined",
 				Title: "Section 3: combined cache and synchronization faults",
@@ -197,7 +203,7 @@ func init() {
 					"results; the main effect was to increase the overall fault rate.",
 				},
 			}
-			r.Points = sweep(seed, scale, fileSizes, syncRs, syncLs,
+			sweepInto(r, seed, scale, g.F, g.R, g.L,
 				func(rl, l int, work int64) workload.Spec {
 					return workload.Combined(32, 64, rl, l, workload.PaperCtxSize(), scale.Threads, work)
 				},
@@ -218,7 +224,7 @@ func init() {
 				{"flex-two-phase", func(f int) node.Config { return node.FlexibleConfig(f, policy.TwoPhase{}, 8) }},
 				{"flex-always", func(f int) node.Config { return node.FlexibleConfig(f, policy.Always{}, 8) }},
 			}
-			r.Points = sweep(seed, scale, []int{128}, []int{32}, syncLs,
+			sweepInto(r, seed, scale, []int{128}, []int{32}, syncLs,
 				func(rl, l int, work int64) workload.Spec {
 					return workload.SyncFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
 				}, archs)
@@ -257,7 +263,7 @@ func init() {
 				}},
 				lookupArch(8, policy.TwoPhase{}),
 			}
-			r.Points = sweep(seed, scale, []int{64}, []int{32}, syncLs,
+			sweepInto(r, seed, scale, []int{64}, []int{32}, syncLs,
 				func(rl, l int, work int64) workload.Spec {
 					return workload.SyncFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
 				}, archs)
@@ -307,7 +313,7 @@ func init() {
 					},
 				})
 			}
-			r.Points = execute(scale, pts)
+			r.Points, r.Err = execute(scale, pts)
 			return r
 		},
 	})

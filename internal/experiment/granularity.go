@@ -44,7 +44,7 @@ func init() {
 				note   string
 			}
 			cells := make([]cell, len(threadCounts))
-			forEach(scale.workers(), len(threadCounts), func(i int) {
+			r.Err = scale.forEach(len(threadCounts), func(i int) {
 				threads := threadCounts[i]
 				// Fine-grained threads (C ~ U[6,12]): the regime where
 				// binding granularity differentiates — the context cache

@@ -61,7 +61,7 @@ func init() {
 					},
 				})
 			}
-			r.Points = execute(scale, pts)
+			r.Points, r.Err = execute(scale, pts)
 
 			// The adaptive controller is a sequential feedback loop (each
 			// observation decides the next setting), so it runs after the

@@ -67,7 +67,7 @@ func init() {
 			lats := []int{25, 50, 100, 200, 400, 800}
 			effs := make([]float64, len(lats))
 			errs := make([]error, len(lats))
-			forEach(scale.workers(), len(lats), func(i int) {
+			r.Err = scale.forEach(len(lats), func(i int) {
 				effs[i], errs[i] = runManagedPoint(lats[i], 10, iters)
 			})
 			for i, lat := range lats {

@@ -40,7 +40,7 @@ func init() {
 					QueueOpCost: 10,
 				}
 			}}
-			r.Points = sweep(seed, scale, fileSizes, []int{8, 32}, cacheLs,
+			sweepInto(r, seed, scale, fileSizes, []int{8, 32}, cacheLs,
 				func(rl, l int, work int64) workload.Spec {
 					return workload.CacheFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
 				},

@@ -59,7 +59,7 @@ func init() {
 					})
 				}
 			}
-			r.Points = execute(scale, pts)
+			r.Points, r.Err = execute(scale, pts)
 			return r
 		},
 	})

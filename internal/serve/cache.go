@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the content-addressed result store: canonical request key
+// (Request.Key) → canonical report bytes. It keeps hot entries in
+// memory under an LRU byte budget and, when configured with a
+// directory, spills evicted entries to disk instead of dropping them.
+// Disk entries carry a SHA-256 of the payload in the index and are
+// verified on load — the engine's byte-identical determinism means a
+// mismatch can only be corruption, never staleness.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	size   int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	dir    string
+	disk   map[string]diskEntry
+
+	// Counters, read by the metrics endpoint.
+	hits, misses, spills, verifyFails int64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// diskEntry is one spilled result in the persisted index.
+type diskEntry struct {
+	Size int64  `json:"size"`
+	Sum  string `json:"sum"` // hex SHA-256 of the payload bytes
+}
+
+// cacheIndex is the on-disk index format (dir/index.json).
+type cacheIndex struct {
+	Version int                  `json:"version"`
+	Entries map[string]diskEntry `json:"entries"`
+}
+
+// NewCache returns a cache with the given in-memory byte budget
+// (<= 0 disables in-memory caching entirely) and optional spill
+// directory. An existing index in the directory is loaded so a
+// restarted daemon resumes with its disk cache warm.
+func NewCache(budget int64, dir string) (*Cache, error) {
+	c := &Cache{
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+		dir:    dir,
+		disk:   make(map[string]diskEntry),
+	}
+	if dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: cache dir: %w", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: cache index: %w", err)
+	}
+	var idx cacheIndex
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		// A corrupt index is not fatal: start cold rather than refuse
+		// to serve.
+		return c, nil
+	}
+	for k, e := range idx.Entries {
+		c.disk[k] = e
+	}
+	return c, nil
+}
+
+// Get returns the result bytes for key. Memory hits refresh LRU
+// recency; disk hits are verified against the indexed checksum,
+// promoted into memory, and kept on disk.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).data, true
+	}
+	if de, ok := c.disk[key]; ok {
+		data, err := os.ReadFile(c.path(key))
+		if err == nil && checksum(data) == de.Sum {
+			if c.budget > 0 && int64(len(data)) <= c.budget {
+				c.insertLocked(key, data)
+			}
+			c.hits++
+			return data, true
+		}
+		// Missing or corrupt payload: drop the index entry so we
+		// recompute instead of serving bad bytes.
+		c.verifyFails++
+		delete(c.disk, key)
+		os.Remove(c.path(key))
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores the result bytes for key, evicting least-recently-used
+// entries past the byte budget (spilling them to disk when a
+// directory is configured). Oversized single entries bypass memory
+// and go straight to disk.
+func (c *Cache) Put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; ok {
+		return // determinism: same key means same bytes
+	}
+	if c.budget > 0 && int64(len(data)) <= c.budget {
+		c.insertLocked(key, data)
+		return
+	}
+	c.spillLocked(key, data)
+}
+
+// insertLocked adds an entry to memory and evicts over budget.
+func (c *Cache) insertLocked(key string, data []byte) {
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	c.size += int64(len(data))
+	for c.size > c.budget && c.ll.Len() > 1 {
+		el := c.ll.Back()
+		ent := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.items, ent.key)
+		c.size -= int64(len(ent.data))
+		c.spillLocked(ent.key, ent.data)
+	}
+}
+
+// spillLocked writes an entry to the disk tier (a no-op without a
+// directory, or when the bytes are already there).
+func (c *Cache) spillLocked(key string, data []byte) {
+	if c.dir == "" {
+		return
+	}
+	if _, ok := c.disk[key]; ok {
+		return
+	}
+	if err := os.WriteFile(c.path(key), data, 0o644); err != nil {
+		return
+	}
+	c.disk[key] = diskEntry{Size: int64(len(data)), Sum: checksum(data)}
+	c.spills++
+}
+
+// SaveIndex persists the disk-tier index; the daemon calls it during
+// graceful shutdown so a restart resumes with verified entries.
+func (c *Cache) SaveIndex() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	// Entries still only in memory are spilled first so shutdown
+	// persists the whole result set, not just the evicted part.
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*cacheEntry)
+		c.spillLocked(ent.key, ent.data)
+	}
+	idx := cacheIndex{Version: 1, Entries: c.disk}
+	raw, err := json.MarshalIndent(idx, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(c.dir, "index.json.tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(c.dir, "index.json"))
+}
+
+// Len returns the number of in-memory entries; DiskLen the number of
+// spilled ones; Bytes the in-memory payload size.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *Cache) DiskLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.disk)
+}
+
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Counters returns (hits, misses, spills, verify failures).
+func (c *Cache) Counters() (hits, misses, spills, verifyFails int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.spills, c.verifyFails
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+func checksum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := bytes.Repeat([]byte("a"), 40)
+	b := bytes.Repeat([]byte("b"), 40)
+	d := bytes.Repeat([]byte("d"), 40)
+	c.Put("ka", a)
+	c.Put("kb", b)
+	if _, ok := c.Get("ka"); !ok {
+		t.Fatal("ka missing before eviction")
+	}
+	// ka is now most recent; inserting kd must evict kb.
+	c.Put("kd", d)
+	if _, ok := c.Get("kb"); ok {
+		t.Error("kb survived eviction")
+	}
+	if _, ok := c.Get("ka"); !ok {
+		t.Error("ka evicted despite recent use")
+	}
+	if _, ok := c.Get("kd"); !ok {
+		t.Error("kd missing")
+	}
+	if c.Bytes() > 100 {
+		t.Errorf("cache over budget: %d bytes", c.Bytes())
+	}
+}
+
+func TestCacheDiskSpillAndReload(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(50, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := bytes.Repeat([]byte("a"), 40)
+	b := bytes.Repeat([]byte("b"), 40)
+	c.Put("ka", a)
+	c.Put("kb", b) // evicts ka → disk
+	if got, ok := c.Get("ka"); !ok || !bytes.Equal(got, a) {
+		t.Fatalf("spilled entry not readable from disk: ok=%v", ok)
+	}
+	if err := c.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh cache over the same directory resumes with the index.
+	c2, err := NewCache(50, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c2.Get("kb"); !ok || !bytes.Equal(got, b) {
+		t.Fatalf("kb not recovered after restart: ok=%v", ok)
+	}
+}
+
+func TestCacheVerifiesDiskEntries(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(10, dir) // tiny budget: everything spills
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("x"), 40)
+	c.Put("kx", data)
+	if err := c.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the payload on disk; a fresh cache must reject it.
+	if err := os.WriteFile(filepath.Join(dir, "kx.json"), []byte("corrupted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCache(10, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("kx"); ok {
+		t.Fatal("corrupt disk entry served")
+	}
+	_, _, _, verifyFails := c2.Counters()
+	if verifyFails != 1 {
+		t.Errorf("verifyFails = %d, want 1", verifyFails)
+	}
+	// And the bad entry is forgotten, not retried forever.
+	if _, ok := c2.Get("kx"); ok {
+		t.Fatal("corrupt entry resurrected")
+	}
+}
+
+func TestCacheSaveIndexPersistsMemoryTier(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte('0' + i)}, 10))
+	}
+	if err := c.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if got, ok := c2.Get(key); !ok || len(got) != 10 {
+			t.Errorf("%s not persisted: ok=%v len=%d", key, ok, len(got))
+		}
+	}
+}
+
+func TestRequestKeyCanonicalization(t *testing.T) {
+	base := Request{Experiment: "figure5", Seed: 1}
+	quick := Request{Experiment: "figure5", Seed: 1, Scale: "quick"}
+	if base.Key() != quick.Key() {
+		t.Error("default scale and explicit quick hash differently")
+	}
+	full := Request{Experiment: "figure5", Seed: 1, Scale: "full"}
+	if base.Key() == full.Key() {
+		t.Error("quick and full hash identically")
+	}
+	otherSeed := Request{Experiment: "figure5", Seed: 2}
+	if base.Key() == otherSeed.Key() {
+		t.Error("seeds hash identically")
+	}
+	g1 := Request{Experiment: "figure5", Seed: 1, F: []int{64, 128}}
+	g2 := Request{Experiment: "figure5", Seed: 1, F: []int{128, 64}}
+	if g1.Key() == g2.Key() {
+		t.Error("grid order must be part of the identity (it changes point order)")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		ok   bool
+	}{
+		{"valid", Request{Experiment: "figure5", Seed: 1}, true},
+		{"valid grids", Request{Experiment: "figure5", F: []int{64}, R: []int{8}, L: []int{16}}, true},
+		{"missing id", Request{}, false},
+		{"unknown id", Request{Experiment: "nope"}, false},
+		{"bad scale", Request{Experiment: "figure5", Scale: "huge"}, false},
+		{"grid on non-grid experiment", Request{Experiment: "analytic", F: []int{64}}, false},
+		{"zero grid value", Request{Experiment: "figure5", L: []int{0}}, false},
+		{"huge grid value", Request{Experiment: "figure5", F: []int{5000}}, false},
+		{"too many values", Request{Experiment: "figure5", L: make33()}, false},
+	}
+	for _, tc := range cases {
+		err := tc.req.validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed", tc.name)
+		}
+	}
+}
+
+func make33() []int {
+	out := make([]int, 33)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}

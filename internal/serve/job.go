@@ -1,0 +1,270 @@
+// Package serve turns the experiment harness into a long-running
+// HTTP service: clients POST sweep jobs, a bounded FIFO queue feeds a
+// worker pool running the engine with per-job cancellation, and a
+// content-addressed result cache — sound because the engine is
+// byte-identical across worker counts and execution orders — answers
+// repeated submissions without re-simulating. See docs/serve.md for
+// the API reference.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"regreloc/internal/experiment"
+)
+
+// Request is the wire format of a job submission: which experiment to
+// run, at which scale and seed, and (for grid experiments) which F/R/L
+// grids. The zero grids run the experiment's published defaults.
+type Request struct {
+	// Experiment is a registered experiment ID (GET /v1/experiments).
+	Experiment string `json:"experiment"`
+	// Seed is the simulation seed; the same request always produces
+	// the same bytes.
+	Seed uint64 `json:"seed"`
+	// Scale is "quick" (default) or "full".
+	Scale string `json:"scale,omitempty"`
+	// F, R, L override the experiment's parameter grids (register file
+	// sizes, run lengths, latencies). Only grid experiments accept
+	// overrides; order is significant and part of the cache identity.
+	F []int `json:"f,omitempty"`
+	R []int `json:"r,omitempty"`
+	L []int `json:"l,omitempty"`
+}
+
+// maxGridLen bounds each requested grid axis; with two to five
+// architectures per cell this caps a single job at a few thousand
+// simulation cells.
+const maxGridLen = 32
+
+// normalize fills defaults (scale quick) so that equivalent requests
+// share one canonical form and therefore one cache key.
+func (q Request) normalize() Request {
+	if q.Scale == "" {
+		q.Scale = "quick"
+	}
+	return q
+}
+
+// scale resolves the request's named scale. Callers validate first.
+func (q Request) scale() experiment.Scale {
+	if q.Scale == "full" {
+		return experiment.Full
+	}
+	return experiment.Quick
+}
+
+func (q Request) grids() experiment.Grids {
+	return experiment.Grids{F: q.F, R: q.R, L: q.L}
+}
+
+// validate rejects malformed submissions before they reach the queue.
+func (q Request) validate() error {
+	if q.Experiment == "" {
+		return fmt.Errorf("missing experiment id")
+	}
+	e, ok := experiment.Get(q.Experiment)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (see GET /v1/experiments)", q.Experiment)
+	}
+	switch q.Scale {
+	case "", "quick", "full":
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", q.Scale)
+	}
+	if !q.grids().Empty() && e.RunGrid == nil {
+		return fmt.Errorf("experiment %q does not accept grid overrides", q.Experiment)
+	}
+	for _, axis := range []struct {
+		name string
+		vals []int
+		max  int
+	}{
+		{"f", q.F, 4096},
+		{"r", q.R, 1 << 20},
+		{"l", q.L, 1 << 20},
+	} {
+		if len(axis.vals) > maxGridLen {
+			return fmt.Errorf("grid %s has %d values (max %d)", axis.name, len(axis.vals), maxGridLen)
+		}
+		for _, v := range axis.vals {
+			if v < 1 || v > axis.max {
+				return fmt.Errorf("grid %s value %d out of range [1, %d]", axis.name, v, axis.max)
+			}
+		}
+	}
+	return nil
+}
+
+// Key returns the request's content address: a SHA-256 over the
+// canonical form of every field that influences the result bytes.
+// Server-side tunables (worker counts, timeouts) are deliberately
+// excluded — the engine guarantees they cannot change the output.
+func (q Request) Key() string {
+	q = q.normalize()
+	h := sha256.New()
+	fmt.Fprintf(h, "regreloc-job-v1\nexperiment=%s\nseed=%d\nscale=%s\nf=%v\nr=%v\nl=%v\n",
+		q.Experiment, q.Seed, q.Scale, q.F, q.R, q.L)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job tracks one submission through the queue. Identical concurrent
+// submissions coalesce onto a single Job (single-flight), so one
+// engine run can satisfy many clients.
+type Job struct {
+	// Immutable after creation.
+	ID      string
+	Key     string
+	Req     Request
+	Created time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// mu guards the mutable fields below.
+	mu        sync.Mutex
+	state     State
+	cached    bool
+	coalesced int
+	errMsg    string
+	started   time.Time
+	finished  time.Time
+	progDone  int
+	progTotal int
+	result    []byte
+}
+
+// Progress is a point-completion counter pair.
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Status is the JSON view of a job returned by the API. Result is the
+// canonical report JSON and is only present on done jobs.
+type Status struct {
+	ID         string          `json:"id"`
+	Key        string          `json:"key"`
+	Experiment string          `json:"experiment"`
+	Seed       uint64          `json:"seed"`
+	Scale      string          `json:"scale"`
+	State      State           `json:"state"`
+	Cached     bool            `json:"cached"`
+	Coalesced  int             `json:"coalesced"`
+	Error      string          `json:"error,omitempty"`
+	Progress   *Progress       `json:"progress,omitempty"`
+	CreatedAt  time.Time       `json:"created_at"`
+	ElapsedMS  int64           `json:"elapsed_ms,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+func (j *Job) setProgress(done, total int) {
+	j.mu.Lock()
+	j.progDone, j.progTotal = done, total
+	j.mu.Unlock()
+}
+
+func (j *Job) setState(s State) {
+	j.mu.Lock()
+	j.state = s
+	if s == StateRunning {
+		j.started = time.Now()
+	}
+	j.mu.Unlock()
+}
+
+// finalize moves the job to a terminal state exactly once; later calls
+// are ignored. It closes the done channel waiters block on.
+func (j *Job) finalize(s State, result []byte, err error) bool {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = s
+	j.result = result
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+	if j.cancel != nil {
+		j.cancel() // release the context subtree; idempotent
+	}
+	return true
+}
+
+// State returns the job's current state.
+func (j *Job) StateNow() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the canonical report bytes of a done job, or nil.
+func (j *Job) Result() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status snapshots the job for the API. withResult controls whether
+// the (possibly large) report bytes are attached.
+func (j *Job) Status(withResult bool) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	req := j.Req.normalize()
+	st := Status{
+		ID:         j.ID,
+		Key:        j.Key,
+		Experiment: req.Experiment,
+		Seed:       req.Seed,
+		Scale:      req.Scale,
+		State:      j.state,
+		Cached:     j.cached,
+		Coalesced:  j.coalesced,
+		Error:      j.errMsg,
+		CreatedAt:  j.Created,
+	}
+	if j.progTotal > 0 {
+		st.Progress = &Progress{Done: j.progDone, Total: j.progTotal}
+	}
+	if !j.started.IsZero() {
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.ElapsedMS = end.Sub(j.started).Milliseconds()
+	}
+	if withResult && j.state == StateDone {
+		st.Result = json.RawMessage(j.result)
+	}
+	return st
+}

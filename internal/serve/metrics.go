@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"regreloc/internal/stats"
+)
+
+// latencyBounds are the job-duration histogram bucket upper bounds in
+// seconds, spanning a cached quick sweep (~ms) through a full-scale
+// grid (minutes).
+var latencyBounds = []float64{0.005, 0.02, 0.1, 0.5, 2, 10, 60, 300}
+
+// metrics aggregates the daemon's counters. Everything is guarded by
+// one mutex: updates happen a handful of times per job, so contention
+// is irrelevant next to simulation work.
+type metrics struct {
+	mu sync.Mutex
+
+	submitted int64 // accepted submissions (new jobs, incl. cache hits)
+	coalesced int64 // submissions attached to an in-flight identical job
+	rejected  int64 // submissions bounced with 429 (queue full)
+
+	byState map[State]int64 // terminal job counts
+	running int64           // gauge
+
+	engineRuns  int64 // sweeps actually executed (not cached/coalesced)
+	sweepPoints int64 // completed simulation cells across all jobs
+
+	latency map[string]*stats.Histogram // per-experiment job seconds
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		byState: make(map[State]int64),
+		latency: make(map[string]*stats.Histogram),
+	}
+}
+
+func (m *metrics) incSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
+func (m *metrics) incCoalesced() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+func (m *metrics) incRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) incRuns()      { m.mu.Lock(); m.engineRuns++; m.mu.Unlock() }
+func (m *metrics) addPoints(n int64) {
+	m.mu.Lock()
+	m.sweepPoints += n
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobStarted() { m.mu.Lock(); m.running++; m.mu.Unlock() }
+
+// jobFinished records a terminal transition; seconds < 0 skips the
+// latency histogram (cache hits and never-started cancellations).
+func (m *metrics) jobFinished(experimentID string, s State, seconds float64, wasRunning bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if wasRunning {
+		m.running--
+	}
+	m.byState[s]++
+	if seconds >= 0 {
+		h, ok := m.latency[experimentID]
+		if !ok {
+			h = stats.NewHistogram(latencyBounds...)
+			m.latency[experimentID] = h
+		}
+		h.Observe(seconds)
+	}
+}
+
+// meanJobSeconds estimates the mean completed-job duration across all
+// experiments, for Retry-After hints. Zero when nothing completed yet.
+func (m *metrics) meanJobSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	var sum float64
+	for _, h := range m.latency {
+		n += h.N()
+		sum += h.Sum()
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// gauges are point-in-time values owned by the server, passed in at
+// render time.
+type gauges struct {
+	queueDepth  int
+	queueCap    int
+	cacheLen    int
+	cacheDisk   int
+	cacheBytes  int64
+	hits        int64
+	misses      int64
+	spills      int64
+	verifyFails int64
+}
+
+// writeProm renders the Prometheus text exposition format.
+func (m *metrics) writeProm(w io.Writer, g gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("rrserve_jobs_submitted_total", "Accepted job submissions (including cache hits).", m.submitted)
+	counter("rrserve_jobs_coalesced_total", "Submissions coalesced onto an identical in-flight job.", m.coalesced)
+	counter("rrserve_jobs_rejected_total", "Submissions rejected with 429 because the queue was full.", m.rejected)
+
+	fmt.Fprintf(w, "# HELP rrserve_jobs_total Terminal jobs by state.\n# TYPE rrserve_jobs_total counter\n")
+	for _, s := range []State{StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(w, "rrserve_jobs_total{state=%q} %d\n", string(s), m.byState[s])
+	}
+	gauge("rrserve_jobs_running", "Jobs currently executing on the worker pool.", m.running)
+	gauge("rrserve_queue_depth", "Jobs waiting in the FIFO queue.", int64(g.queueDepth))
+	gauge("rrserve_queue_capacity", "Configured queue capacity.", int64(g.queueCap))
+
+	counter("rrserve_cache_hits_total", "Result-cache hits (memory or verified disk).", g.hits)
+	counter("rrserve_cache_misses_total", "Result-cache misses.", g.misses)
+	counter("rrserve_cache_spills_total", "Entries spilled to the disk tier.", g.spills)
+	counter("rrserve_cache_verify_failures_total", "Disk entries rejected by checksum verification.", g.verifyFails)
+	gauge("rrserve_cache_entries", "In-memory cache entries.", int64(g.cacheLen))
+	gauge("rrserve_cache_disk_entries", "Disk-tier cache entries.", int64(g.cacheDisk))
+	gauge("rrserve_cache_bytes", "In-memory cache payload bytes.", g.cacheBytes)
+
+	counter("rrserve_engine_runs_total", "Underlying experiment-engine sweeps executed.", m.engineRuns)
+	counter("rrserve_sweep_points_total", "Simulation cells completed across all jobs.", m.sweepPoints)
+
+	// Per-experiment job-duration histograms, Prometheus-style:
+	// cumulative buckets plus _sum and _count.
+	fmt.Fprintf(w, "# HELP rrserve_job_duration_seconds Job execution time by experiment.\n")
+	fmt.Fprintf(w, "# TYPE rrserve_job_duration_seconds histogram\n")
+	ids := make([]string, 0, len(m.latency))
+	for id := range m.latency {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		h := m.latency[id]
+		cum := h.Cumulative()
+		bounds := h.Bounds()
+		for i, b := range bounds {
+			fmt.Fprintf(w, "rrserve_job_duration_seconds_bucket{experiment=%q,le=\"%g\"} %d\n",
+				id, b, cum[i])
+		}
+		fmt.Fprintf(w, "rrserve_job_duration_seconds_bucket{experiment=%q,le=\"+Inf\"} %d\n",
+			id, cum[len(cum)-1])
+		fmt.Fprintf(w, "rrserve_job_duration_seconds_sum{experiment=%q} %g\n", id, h.Sum())
+		fmt.Fprintf(w, "rrserve_job_duration_seconds_count{experiment=%q} %d\n", id, h.N())
+	}
+}

@@ -1,0 +1,565 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"regreloc/internal/experiment"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults from
+// New.
+type Config struct {
+	// QueueCap bounds the FIFO job queue; a full queue rejects
+	// submissions with 429 + Retry-After (default 64).
+	QueueCap int
+	// Workers is the job worker pool size (default 2). Each worker
+	// runs one sweep at a time.
+	Workers int
+	// PointWorkers bounds the engine's per-job sweep-point pool
+	// (experiment.Scale.Workers); 0 means one per core. With several
+	// job workers, a small value avoids oversubscribing the host.
+	PointWorkers int
+	// JobTimeout caps one job's execution (default 10 minutes).
+	JobTimeout time.Duration
+	// CacheBytes is the in-memory result-cache budget (default 64 MiB;
+	// negative disables the memory tier).
+	CacheBytes int64
+	// CacheDir, when non-empty, holds the disk spill tier and its
+	// persisted index.
+	CacheDir string
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Logger receives structured request and job logs (default: a
+	// stderr logger).
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 10 * time.Minute
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(os.Stderr, "rrserved ", log.LstdFlags|log.Lmsgprefix)
+	}
+	return c
+}
+
+// Server is the experiment-as-a-service daemon core: a bounded job
+// queue, a worker pool driving the experiment engine, a single-flight
+// table coalescing identical submissions, and the content-addressed
+// result cache. Wrap Handler in an http.Server to expose it.
+type Server struct {
+	cfg   Config
+	log   *log.Logger
+	cache *Cache
+	met   *metrics
+	mux   *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string        // submission order, for listing
+	inflight map[string]*Job // request key → queued/running job
+	queue    chan *Job
+	draining bool
+	started  bool
+	nextID   int64
+
+	wg sync.WaitGroup
+
+	// runJob executes one job and returns (canonical result bytes,
+	// completed points). Tests replace it to control timing; the
+	// default is (*Server).runExperiment.
+	runJob func(ctx context.Context, j *Job) ([]byte, int, error)
+}
+
+// New builds a Server (loading the disk cache index, if any). Call
+// Start to launch the workers.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	cache, err := NewCache(cfg.CacheBytes, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		log:        cfg.Logger,
+		cache:      cache,
+		met:        newMetrics(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueCap),
+	}
+	s.runJob = s.runExperiment
+	s.buildMux()
+	return s, nil
+}
+
+// Start launches the worker pool. It is idempotent.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Shutdown gracefully stops the server: no new submissions are
+// accepted, queued and running jobs get until ctx's deadline to
+// finish, then their contexts are cancelled, and finally the disk
+// cache index is persisted. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("serve: already shut down")
+	}
+	s.draining = true
+	close(s.queue) // submit checks draining under mu before sending
+	started := s.started
+	s.mu.Unlock()
+
+	if started {
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			// Deadline passed: cancel every in-flight job and wait for
+			// the workers to notice (the engine polls between points).
+			s.log.Printf("drain deadline reached, cancelling in-flight jobs")
+			s.baseCancel()
+			<-done
+		}
+	}
+	s.baseCancel()
+	if err := s.cache.SaveIndex(); err != nil {
+		return fmt.Errorf("serve: persisting cache index: %w", err)
+	}
+	return nil
+}
+
+// Submit validates and enqueues a request, returning the job (which
+// may be an existing in-flight job the submission coalesced onto, or
+// an already-done cached job) plus the HTTP status describing what
+// happened: 201 (new job queued), 200 (coalesced or cache hit), 429
+// (queue full), 503 (draining), 400 (invalid).
+func (s *Server) Submit(req Request) (*Job, int, error) {
+	if err := req.validate(); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	req = req.normalize()
+	key := req.Key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, http.StatusServiceUnavailable, errors.New("server is draining")
+	}
+
+	// Single-flight: identical request already queued or running.
+	if j, ok := s.inflight[key]; ok {
+		j.mu.Lock()
+		j.coalesced++
+		j.mu.Unlock()
+		s.met.incCoalesced()
+		return j, http.StatusOK, nil
+	}
+
+	// Content-addressed cache: the result already exists; materialize
+	// a terminal job so the client gets the uniform job interface.
+	if data, ok := s.cache.Get(key); ok {
+		j := s.newJobLocked(key, req)
+		j.cached = true
+		j.state = StateDone
+		j.result = data
+		j.finished = time.Now()
+		close(j.done)
+		s.met.incSubmitted()
+		s.met.jobFinished(req.Experiment, StateDone, -1, false)
+		return j, http.StatusOK, nil
+	}
+
+	// Bounded queue with backpressure.
+	j := s.newJobLocked(key, req)
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.met.incRejected()
+		return nil, http.StatusTooManyRequests, errors.New("job queue is full")
+	}
+	s.inflight[key] = j
+	s.met.incSubmitted()
+	return j, http.StatusCreated, nil
+}
+
+// newJobLocked allocates and registers a job. Caller holds s.mu.
+func (s *Server) newJobLocked(key string, req Request) *Job {
+	s.nextID++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		ID:      fmt.Sprintf("j%06d", s.nextID),
+		Key:     key,
+		Req:     req,
+		Created: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   StateQueued,
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	return j
+}
+
+// Job returns a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a job: queued jobs finalize immediately, running
+// jobs have their context cancelled and finalize when the engine
+// notices. It reports whether the job existed and was non-terminal.
+func (s *Server) Cancel(id string) (*Job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	j.cancel()
+	j.mu.Lock()
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	if queued {
+		// Finalize now; the worker skips already-terminal jobs.
+		if j.finalize(StateCanceled, nil, context.Canceled) {
+			s.forgetInflight(j)
+			s.met.jobFinished(j.Req.Experiment, StateCanceled, -1, false)
+		}
+	}
+	return j, true
+}
+
+func (s *Server) forgetInflight(j *Job) {
+	s.mu.Lock()
+	if s.inflight[j.Key] == j {
+		delete(s.inflight, j.Key)
+	}
+	s.mu.Unlock()
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runOne(j)
+	}
+}
+
+// runOne executes a single job end to end.
+func (s *Server) runOne(j *Job) {
+	if j.StateNow().terminal() {
+		return // cancelled while queued
+	}
+	if err := j.ctx.Err(); err != nil {
+		if j.finalize(StateCanceled, nil, err) {
+			s.forgetInflight(j)
+			s.met.jobFinished(j.Req.Experiment, StateCanceled, -1, false)
+		}
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(j.ctx, s.cfg.JobTimeout)
+	defer cancel()
+	j.setState(StateRunning)
+	s.met.jobStarted()
+	s.met.incRuns()
+	start := time.Now()
+
+	data, points, err := s.runJob(ctx, j)
+	seconds := time.Since(start).Seconds()
+	s.met.addPoints(int64(points))
+
+	var final State
+	switch {
+	case err == nil:
+		final = StateDone
+		s.cache.Put(j.Key, data)
+		j.finalize(StateDone, data, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		final = StateCanceled
+		j.finalize(StateCanceled, nil, err)
+	default:
+		final = StateFailed
+		j.finalize(StateFailed, nil, err)
+	}
+	s.forgetInflight(j)
+	s.met.jobFinished(j.Req.Experiment, final, seconds, true)
+	s.log.Printf("job %s %s experiment=%s points=%d elapsed=%.3fs",
+		j.ID, final, j.Req.Experiment, points, seconds)
+}
+
+// runExperiment is the default job runner: it resolves the experiment
+// and drives the engine with the job's context and a progress hook.
+func (s *Server) runExperiment(ctx context.Context, j *Job) ([]byte, int, error) {
+	e, ok := experiment.Get(j.Req.Experiment)
+	if !ok {
+		return nil, 0, fmt.Errorf("experiment %q disappeared from the registry", j.Req.Experiment)
+	}
+	sc := j.Req.scale()
+	sc.Workers = s.cfg.PointWorkers
+	sc.Progress = func(done, total int) { j.setProgress(done, total) }
+	sc = sc.WithContext(ctx)
+
+	var rep *experiment.Report
+	if g := j.Req.grids(); !g.Empty() && e.RunGrid != nil {
+		rep = e.RunGrid(j.Req.Seed, sc, g)
+	} else {
+		rep = e.Run(j.Req.Seed, sc)
+	}
+	if rep.Err != nil {
+		return nil, len(rep.Points), rep.Err
+	}
+	data, err := encodeReport(rep)
+	if err != nil {
+		return nil, len(rep.Points), err
+	}
+	return data, len(rep.Points), nil
+}
+
+// QueueDepth returns the number of queued (not yet running) jobs.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// retryAfterSeconds estimates how long a rejected client should wait:
+// the queue needs to drain one slot, which takes about one mean job
+// duration per busy worker.
+func (s *Server) retryAfterSeconds() int {
+	mean := s.met.meanJobSeconds()
+	if mean <= 0 {
+		return 1
+	}
+	est := int(mean*float64(s.QueueDepth()+1)/float64(s.cfg.Workers)) + 1
+	if est < 1 {
+		est = 1
+	}
+	if est > 120 {
+		est = 120
+	}
+	return est
+}
+
+// ---- HTTP layer ----
+
+// Handler returns the daemon's HTTP handler (with request logging).
+func (s *Server) Handler() http.Handler { return s.logged(s.mux) }
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux = mux
+}
+
+// statusWriter captures the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.log.Printf("http %s %s status=%d bytes=%d elapsed=%.1fms",
+			r.Method, r.URL.Path, sw.status, sw.bytes,
+			float64(time.Since(start).Microseconds())/1000)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type expInfo struct {
+		ID          string `json:"id"`
+		Title       string `json:"title"`
+		Description string `json:"description"`
+		Grids       bool   `json:"grids"` // accepts F/R/L overrides
+	}
+	var out []expInfo
+	for _, e := range experiment.All() {
+		out = append(out, expInfo{e.ID, e.Title, e.Description, e.RunGrid != nil})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	j, status, err := s.Submit(req)
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, status, j.Status(false))
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status(false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	withResult := r.URL.Query().Get("result") != "false"
+	writeJSON(w, http.StatusOK, j.Status(withResult))
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status(false))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses, spills, verifyFails := s.cache.Counters()
+	g := gauges{
+		queueDepth:  s.QueueDepth(),
+		queueCap:    s.cfg.QueueCap,
+		cacheLen:    s.cache.Len(),
+		cacheDisk:   s.cache.DiskLen(),
+		cacheBytes:  s.cache.Bytes(),
+		hits:        hits,
+		misses:      misses,
+		spills:      spills,
+		verifyFails: verifyFails,
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	s.met.writeProm(&b, g)
+	w.Write([]byte(b.String()))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ready := s.started && !s.draining
+	s.mu.Unlock()
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ready\n"))
+}

@@ -73,6 +73,106 @@ func (s *Streaming) CI95() float64 {
 	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
 }
 
+// Histogram accumulates observations into fixed buckets defined by
+// strictly increasing upper bounds, with an implicit +Inf bucket last.
+// It backs the serving layer's latency metrics (Prometheus-style
+// cumulative buckets) but is a plain data structure: callers that
+// observe from multiple goroutines must synchronize. The zero value is
+// not useful; construct with NewHistogram.
+type Histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; counts[len(bounds)] is the +Inf bucket
+	sum    float64
+	n      int64
+}
+
+// NewHistogram returns a histogram over the given strictly increasing
+// upper bounds. It panics on empty or non-increasing bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram bounds not increasing at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation into the first bucket whose upper
+// bound is >= x (Prometheus "le" semantics).
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i]++
+	h.sum += x
+	h.n++
+}
+
+// N returns the observation count and Sum their total.
+func (h *Histogram) N() int64     { return h.n }
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Bounds returns the bucket upper bounds (excluding the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Cumulative returns, for each bound plus the +Inf bucket, the count of
+// observations <= that bound — the Prometheus histogram_bucket series.
+func (h *Histogram) Cumulative() []int64 {
+	out := make([]int64, len(h.counts))
+	var acc int64
+	for i, c := range h.counts {
+		acc += c
+		out[i] = acc
+	}
+	return out
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) by
+// linear interpolation within the owning bucket, treating the lowest
+// bucket as spanning [0, bounds[0]] and clamping the +Inf bucket to its
+// lower bound. With no observations it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.n)
+	var acc int64
+	for i, c := range h.counts {
+		if float64(acc+c) >= rank && c > 0 {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(acc)) / float64(c)
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		acc += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// String renders a compact text summary: count, mean, and p50/p95/p99.
+func (h *Histogram) String() string {
+	if h.n == 0 {
+		return "histogram(empty)"
+	}
+	return fmt.Sprintf("histogram(n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g)",
+		h.n, h.sum/float64(h.n), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+}
+
 // Activity labels every way the simulated processor can spend a cycle.
 // Efficiency (processor utilization) is Useful / Total.
 type Activity int

@@ -224,3 +224,63 @@ func TestCloneIndependent(t *testing.T) {
 		t.Error("Clone not independent")
 	}
 }
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, x := range []float64{0.5, 1, 2, 50, 500} {
+		h.Observe(x)
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if got := h.Sum(); got != 553.5 {
+		t.Errorf("Sum = %v", got)
+	}
+	// le=1: {0.5, 1}; le=10: +{2}; le=100: +{50}; +Inf: +{500}.
+	want := []int64{2, 3, 4, 5}
+	got := h.Cumulative()
+	if len(got) != len(want) {
+		t.Fatalf("Cumulative len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Cumulative[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Errorf("p50 = %v, want within (1,2]", q)
+	}
+	if q := h.Quantile(1); q > 2 {
+		t.Errorf("p100 = %v", q)
+	}
+	empty := NewHistogram(1)
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty quantile not 0")
+	}
+	// Overflow observations clamp to the top finite bound.
+	over := NewHistogram(1, 2)
+	over.Observe(100)
+	if q := over.Quantile(0.99); q != 2 {
+		t.Errorf("overflow quantile = %v, want 2", q)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}

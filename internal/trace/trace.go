@@ -28,22 +28,36 @@ type Event struct {
 // Limit to cap memory for long simulations. A nil *Recorder is valid
 // and records nothing, so callers can pass it unconditionally.
 type Recorder struct {
-	events []Event
-	limit  int
+	events  []Event
+	limit   int
+	dropped int
 }
 
 // New returns a recorder keeping at most limit events (0 = unlimited).
 func New(limit int) *Recorder { return &Recorder{limit: limit} }
 
-// Record appends an event. On a nil or full recorder it is a no-op.
+// Record appends an event. On a nil recorder it is a no-op; on a full
+// recorder the event is counted as dropped so capped traces are
+// visibly incomplete (see Dropped and the Timeline truncation marker).
 func (r *Recorder) Record(at, dur int64, thread int, a stats.Activity) {
 	if r == nil || dur <= 0 {
 		return
 	}
 	if r.limit > 0 && len(r.events) >= r.limit {
+		r.dropped++
 		return
 	}
 	r.events = append(r.events, Event{At: at, Dur: dur, Thread: thread, Activity: a})
+}
+
+// Dropped returns the number of events discarded because the recorder
+// was at its limit. A non-zero count means Events, Timeline, and
+// Summary describe a truncated prefix of the run.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
 }
 
 // Events returns the recorded events in record order.
@@ -143,6 +157,10 @@ func (r *Recorder) Timeline(from, to int64, width int) string {
 		fmt.Fprintf(&b, "%s |%s|\n", label, rows[id])
 	}
 	b.WriteString("legend: #=useful s=switch .=idle a=alloc d=dealloc L=load U=unload q=queue ~=spin\n")
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, "WARNING: trace truncated — %d events dropped after the %d-event limit\n",
+			r.dropped, r.limit)
+	}
 	return b.String()
 }
 

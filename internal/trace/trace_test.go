@@ -47,6 +47,36 @@ func TestLimit(t *testing.T) {
 	if r.Len() != 2 {
 		t.Errorf("limit not enforced: %d events", r.Len())
 	}
+	if r.Dropped() != 3 {
+		t.Errorf("Dropped() = %d, want 3", r.Dropped())
+	}
+	// Zero/negative durations are rejected, not dropped-by-limit.
+	r.Record(50, 0, 0, stats.Useful)
+	if r.Dropped() != 3 {
+		t.Errorf("zero-duration event counted as dropped: %d", r.Dropped())
+	}
+}
+
+func TestTimelineTruncationMarker(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Record(int64(i*10), 10, 0, stats.Useful)
+	}
+	got := r.Timeline(0, 50, 10)
+	if !strings.Contains(got, "truncated") || !strings.Contains(got, "3 events dropped") {
+		t.Errorf("timeline missing truncation marker:\n%s", got)
+	}
+
+	// An uncapped recorder renders no marker.
+	u := New(0)
+	u.Record(0, 10, 0, stats.Useful)
+	if strings.Contains(u.Timeline(0, 10, 10), "truncated") {
+		t.Error("uncapped timeline claims truncation")
+	}
+	var nilRec *Recorder
+	if nilRec.Dropped() != 0 {
+		t.Error("nil recorder reports drops")
+	}
 }
 
 func TestZeroDurationIgnored(t *testing.T) {
