@@ -58,6 +58,8 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 		cacheBytes   = fs.Int64("cache-bytes", 64<<20, "in-memory result cache budget in bytes")
 		cacheDir     = fs.String("cache-dir", "", "directory for the disk cache tier (empty = memory only)")
+		jobRetention = fs.Duration("job-retention", 15*time.Minute, "how long finished jobs stay queryable by ID")
+		maxJobs      = fs.Int("max-jobs", 1024, "job table cap: oldest finished jobs are pruned past it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -75,6 +77,8 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 		JobTimeout:   *jobTimeout,
 		CacheBytes:   *cacheBytes,
 		CacheDir:     *cacheDir,
+		JobRetention: *jobRetention,
+		MaxJobs:      *maxJobs,
 		Logger:       logger,
 	})
 	if err != nil {

@@ -85,7 +85,9 @@ func forEach(ctx context.Context, workers, n int, progress func(done, total int)
 			fn(i)
 			report(i + 1)
 		}
-		return ctx.Err()
+		// Every iteration ran: the sweep is complete and valid even if
+		// the context was cancelled during the final point.
+		return nil
 	}
 	var next, done atomic.Int64
 	var wg sync.WaitGroup
@@ -107,6 +109,11 @@ func forEach(ctx context.Context, workers, n int, progress func(done, total int)
 		}()
 	}
 	wg.Wait()
+	if int(done.Load()) == n {
+		// All points completed despite any late cancellation — report
+		// success so the full result stays usable (and cacheable).
+		return nil
+	}
 	return ctx.Err()
 }
 

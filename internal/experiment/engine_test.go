@@ -97,6 +97,31 @@ func TestForEachCancellation(t *testing.T) {
 	}
 }
 
+// TestForEachCompletedSweepSurvivesLateCancel pins the boundary case:
+// a sweep whose every point completed is a full, valid result and must
+// report success even when the context is cancelled during the final
+// point — otherwise the serve daemon would discard (and refuse to
+// cache) work that actually finished.
+func TestForEachCompletedSweepSurvivesLateCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 8
+		var completed atomic.Int64
+		err := forEach(ctx, workers, n, nil, func(i int) {
+			if completed.Add(1) == n {
+				cancel() // the last point cancels before returning
+			}
+		})
+		cancel()
+		if err != nil {
+			t.Errorf("workers=%d: fully-completed sweep reported %v", workers, err)
+		}
+		if got := completed.Load(); got != n {
+			t.Errorf("workers=%d: %d of %d points ran", workers, got, n)
+		}
+	}
+}
+
 // TestCancelledSweepReturnsPartialReport runs a real experiment with an
 // already-cancelled context: the report must come back immediately with
 // Err set and no (or almost no) points rather than a full grid.

@@ -16,8 +16,9 @@ import (
 // memory under an LRU byte budget and, when configured with a
 // directory, spills evicted entries to disk instead of dropping them.
 // Disk entries carry a SHA-256 of the payload in the index and are
-// verified on load — the engine's byte-identical determinism means a
-// mismatch can only be corruption, never staleness.
+// verified on load — keys embed the engine version (Request.Key), so
+// within a matching key a checksum mismatch can only be corruption,
+// never staleness; results from an older binary simply stop matching.
 type Cache struct {
 	mu     sync.Mutex
 	budget int64
@@ -48,6 +49,12 @@ type cacheIndex struct {
 	Entries map[string]diskEntry `json:"entries"`
 }
 
+// cacheIndexVersion gates index loading: an index written under a
+// different format or key schema is discarded wholesale (the daemon
+// starts cold) instead of being reinterpreted. Version 2 keys embed
+// the engine version.
+const cacheIndexVersion = 2
+
 // NewCache returns a cache with the given in-memory byte budget
 // (<= 0 disables in-memory caching entirely) and optional spill
 // directory. An existing index in the directory is loaded so a
@@ -74,9 +81,9 @@ func NewCache(budget int64, dir string) (*Cache, error) {
 		return nil, fmt.Errorf("serve: cache index: %w", err)
 	}
 	var idx cacheIndex
-	if err := json.Unmarshal(raw, &idx); err != nil {
-		// A corrupt index is not fatal: start cold rather than refuse
-		// to serve.
+	if err := json.Unmarshal(raw, &idx); err != nil || idx.Version != cacheIndexVersion {
+		// A corrupt or old-format index is not fatal: start cold rather
+		// than refuse to serve (or serve another version's results).
 		return c, nil
 	}
 	for k, e := range idx.Entries {
@@ -176,7 +183,7 @@ func (c *Cache) SaveIndex() error {
 		ent := el.Value.(*cacheEntry)
 		c.spillLocked(ent.key, ent.data)
 	}
-	idx := cacheIndex{Version: 1, Entries: c.disk}
+	idx := cacheIndex{Version: cacheIndexVersion, Entries: c.disk}
 	raw, err := json.MarshalIndent(idx, "", " ")
 	if err != nil {
 		return err

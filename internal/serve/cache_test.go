@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -94,6 +95,37 @@ func TestCacheVerifiesDiskEntries(t *testing.T) {
 	// And the bad entry is forgotten, not retried forever.
 	if _, ok := c2.Get("kx"); ok {
 		t.Fatal("corrupt entry resurrected")
+	}
+}
+
+// TestCacheIndexVersionMismatchStartsCold: an index persisted by a
+// binary with a different key schema is discarded wholesale — serving
+// its entries as current would be staleness the checksums can't catch.
+func TestCacheIndexVersionMismatchStartsCold(t *testing.T) {
+	dir := t.TempDir()
+	data := []byte("old-engine result")
+	idx := cacheIndex{Version: cacheIndexVersion - 1, Entries: map[string]diskEntry{
+		"kx": {Size: int64(len(data)), Sum: checksum(data)},
+	}}
+	raw, err := json.Marshal(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "kx.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("kx"); ok {
+		t.Fatal("entry from an old index version served")
+	}
+	if c.DiskLen() != 0 {
+		t.Errorf("old index entries loaded: %d", c.DiskLen())
 	}
 }
 

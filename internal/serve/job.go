@@ -13,6 +13,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -102,15 +103,47 @@ func (q Request) validate() error {
 	return nil
 }
 
+// cacheSchema versions the canonical key layout. Bump it whenever an
+// engine change alters the bytes a request produces (simulator
+// semantics, default grids, report encoding): the disk tier outlives
+// the process, and a stale key must never match a new request.
+const cacheSchema = "regreloc-job-v2"
+
+// engineVersion identifies the code that computes the result bytes:
+// the module version plus the VCS revision stamped into the build, if
+// any. It is folded into every cache key so a persisted disk cache is
+// invalidated by upgrading the binary — an old result simply stops
+// matching — rather than served as current. Development builds without
+// VCS stamping fall back to the cacheSchema bump alone.
+var engineVersion = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			v += "+" + s.Value
+			break
+		}
+	}
+	if v == "" {
+		v = "unknown"
+	}
+	return v
+})
+
 // Key returns the request's content address: a SHA-256 over the
-// canonical form of every field that influences the result bytes.
-// Server-side tunables (worker counts, timeouts) are deliberately
-// excluded — the engine guarantees they cannot change the output.
+// canonical form of every field that influences the result bytes,
+// prefixed by the engine version so results computed by a different
+// binary never collide. Server-side tunables (worker counts, timeouts)
+// are deliberately excluded — the engine guarantees they cannot change
+// the output.
 func (q Request) Key() string {
 	q = q.normalize()
 	h := sha256.New()
-	fmt.Fprintf(h, "regreloc-job-v1\nexperiment=%s\nseed=%d\nscale=%s\nf=%v\nr=%v\nl=%v\n",
-		q.Experiment, q.Seed, q.Scale, q.F, q.R, q.L)
+	fmt.Fprintf(h, "%s\nengine=%s\nexperiment=%s\nseed=%d\nscale=%s\nf=%v\nr=%v\nl=%v\n",
+		cacheSchema, engineVersion(), q.Experiment, q.Seed, q.Scale, q.F, q.R, q.L)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -187,13 +220,22 @@ func (j *Job) setProgress(done, total int) {
 	j.mu.Unlock()
 }
 
-func (j *Job) setState(s State) {
+// setState moves a non-terminal job to s and reports whether the
+// transition happened. Refusing to leave a terminal state is what makes
+// the Cancel/worker handoff safe: if Cancel finalizes a queued job just
+// before the worker claims it, the worker's transition fails instead of
+// resurrecting the job (and later double-closing its done channel).
+func (j *Job) setState(s State) bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false
+	}
 	j.state = s
 	if s == StateRunning {
 		j.started = time.Now()
 	}
-	j.mu.Unlock()
+	return true
 }
 
 // finalize moves the job to a terminal state exactly once; later calls
@@ -216,6 +258,14 @@ func (j *Job) finalize(s State, result []byte, err error) bool {
 		j.cancel() // release the context subtree; idempotent
 	}
 	return true
+}
+
+// finishedAt returns the finish time and whether the job is terminal,
+// for the server's job-table retention pruning.
+func (j *Job) finishedAt() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished, j.state.terminal()
 }
 
 // State returns the job's current state.

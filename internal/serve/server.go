@@ -37,6 +37,15 @@ type Config struct {
 	// CacheDir, when non-empty, holds the disk spill tier and its
 	// persisted index.
 	CacheDir string
+	// JobRetention is how long a terminal job (and its result bytes)
+	// stays queryable by ID after finishing (default 15 minutes). The
+	// content-addressed cache keeps the result itself far longer; only
+	// the per-job status record is pruned.
+	JobRetention time.Duration
+	// MaxJobs caps the job table; past it the oldest terminal jobs are
+	// pruned regardless of age (default 1024). Non-terminal jobs are
+	// never pruned — they are already bounded by QueueCap + Workers.
+	MaxJobs int
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
 	// Logger receives structured request and job logs (default: a
@@ -59,6 +68,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 15 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
 	}
 	if c.Logger == nil {
 		c.Logger = log.New(os.Stderr, "rrserved ", log.LstdFlags|log.Lmsgprefix)
@@ -191,6 +206,7 @@ func (s *Server) Submit(req Request) (*Job, int, error) {
 	if s.draining {
 		return nil, http.StatusServiceUnavailable, errors.New("server is draining")
 	}
+	s.pruneJobsLocked()
 
 	// Single-flight: identical request already queued or running.
 	if j, ok := s.inflight[key]; ok {
@@ -210,6 +226,7 @@ func (s *Server) Submit(req Request) (*Job, int, error) {
 		j.result = data
 		j.finished = time.Now()
 		close(j.done)
+		j.cancel() // born terminal: release its context registration now
 		s.met.incSubmitted()
 		s.met.jobFinished(req.Experiment, StateDone, -1, false)
 		return j, http.StatusOK, nil
@@ -222,6 +239,7 @@ func (s *Server) Submit(req Request) (*Job, int, error) {
 	default:
 		delete(s.jobs, j.ID)
 		s.order = s.order[:len(s.order)-1]
+		j.cancel() // never ran: release its context registration
 		s.met.incRejected()
 		return nil, http.StatusTooManyRequests, errors.New("job queue is full")
 	}
@@ -247,6 +265,28 @@ func (s *Server) newJobLocked(key string, req Request) *Job {
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	return j
+}
+
+// pruneJobsLocked bounds the job table: terminal jobs past the
+// retention window are dropped, and while the table exceeds MaxJobs the
+// oldest terminal jobs go too. Result bytes live on in the
+// content-addressed cache; only the per-job status record (and its ID)
+// disappears, so a long-running daemon's memory tracks the cache
+// budget, not every submission ever made. Caller holds s.mu.
+func (s *Server) pruneJobsLocked() {
+	cutoff := time.Now().Add(-s.cfg.JobRetention)
+	over := len(s.order) - s.cfg.MaxJobs
+	kept := s.order[:0]
+	for _, id := range s.order {
+		fin, terminal := s.jobs[id].finishedAt()
+		if terminal && (over > 0 || fin.Before(cutoff)) {
+			over--
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
 }
 
 // Job returns a job by ID.
@@ -299,20 +339,25 @@ func (s *Server) worker() {
 
 // runOne executes a single job end to end.
 func (s *Server) runOne(j *Job) {
-	if j.StateNow().terminal() {
-		return // cancelled while queued
-	}
 	if err := j.ctx.Err(); err != nil {
+		// Cancelled (or shut down) while queued. finalize is a no-op if
+		// Cancel already finalized and accounted for the job.
 		if j.finalize(StateCanceled, nil, err) {
 			s.forgetInflight(j)
 			s.met.jobFinished(j.Req.Experiment, StateCanceled, -1, false)
 		}
 		return
 	}
+	// Claim the job. The transition fails only when Cancel finalized it
+	// between the context check above and here — the canceler saw
+	// state == queued, so it already unregistered and counted the job;
+	// running it anyway would re-finalize and double-close done.
+	if !j.setState(StateRunning) {
+		return
+	}
 
 	ctx, cancel := context.WithTimeout(j.ctx, s.cfg.JobTimeout)
 	defer cancel()
-	j.setState(StateRunning)
 	s.met.jobStarted()
 	s.met.incRuns()
 	start := time.Now()

@@ -81,6 +81,11 @@ func TestSubmitRunsAndCaches(t *testing.T) {
 	if !bytes.Equal(cold, j2.Result()) {
 		t.Fatal("cache hit differs from cold run")
 	}
+	// A cache-hit job is born terminal; its context must be released
+	// immediately or every hit would leak a registration on baseCtx.
+	if j2.ctx.Err() == nil {
+		t.Error("cache-hit job context not released")
+	}
 
 	// Determinism across server instances: a cold run elsewhere
 	// produces the same bytes, which is what makes the cache sound.
@@ -325,6 +330,158 @@ func TestCancelQueuedJob(t *testing.T) {
 	}
 	if queued.StateNow() != StateCanceled {
 		t.Fatalf("state = %s", queued.StateNow())
+	}
+}
+
+// TestSetStateRefusesTerminalTransition pins the invariant behind the
+// Cancel/worker handoff: once a job is finalized, neither setState nor
+// a second finalize may move it (a resurrected job would double-close
+// its done channel and panic the daemon).
+func TestSetStateRefusesTerminalTransition(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	j := s.newJobLocked("k", tinyRequest())
+	s.mu.Unlock()
+	if !j.finalize(StateCanceled, nil, context.Canceled) {
+		t.Fatal("first finalize refused")
+	}
+	if j.setState(StateRunning) {
+		t.Fatal("setState resurrected a terminal job")
+	}
+	if got := j.StateNow(); got != StateCanceled {
+		t.Fatalf("state = %s, want canceled", got)
+	}
+	if j.finalize(StateDone, []byte(`{}`), nil) {
+		t.Fatal("second finalize succeeded (would double-close done)")
+	}
+}
+
+// TestCancelSubmitRace hammers the queued→running handoff: a Cancel
+// landing between the worker's context check and its running
+// transition used to overwrite the terminal state and double-close the
+// done channel. Run under -race in CI.
+func TestCancelSubmitRace(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueCap = 4
+	cfg.Workers = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.runJob = func(ctx context.Context, j *Job) ([]byte, int, error) {
+		return []byte(`{}`), 0, nil
+	}
+	s.Start()
+	defer s.Shutdown(context.Background())
+
+	for i := 0; i < 300; i++ {
+		req := tinyRequest()
+		req.Seed = uint64(i + 1000) // distinct keys: no coalescing, no cache hits
+		j, status, err := s.Submit(req)
+		if err != nil {
+			if status == http.StatusTooManyRequests {
+				continue
+			}
+			t.Fatal(err)
+		}
+		go s.Cancel(j.ID)
+		waitDone(t, j)
+		if got := j.StateNow(); got != StateDone && got != StateCanceled {
+			t.Fatalf("iteration %d: state = %s", i, got)
+		}
+	}
+}
+
+// TestTerminalJobsPruned bounds the job table: past MaxJobs the oldest
+// terminal jobs (and their result bytes) are dropped on the next
+// submission, leaving the content-addressed cache as the durable store.
+func TestTerminalJobsPruned(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxJobs = 4
+	cfg.JobRetention = time.Hour // only the cap triggers here
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.runJob = func(ctx context.Context, j *Job) ([]byte, int, error) {
+		return []byte(`{}`), 0, nil
+	}
+	s.Start()
+	defer s.Shutdown(context.Background())
+
+	var first *Job
+	for i := 0; i < 12; i++ {
+		req := tinyRequest()
+		req.Seed = uint64(i + 1)
+		j, _, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = j
+		}
+		waitDone(t, j)
+	}
+	s.mu.Lock()
+	nJobs, nOrder := len(s.jobs), len(s.order)
+	s.mu.Unlock()
+	// Pruning runs before each submission registers its job, so the
+	// table holds at most MaxJobs survivors plus the newest job.
+	if nJobs > cfg.MaxJobs+1 {
+		t.Errorf("job table not bounded: %d jobs (MaxJobs %d)", nJobs, cfg.MaxJobs)
+	}
+	if nJobs != nOrder {
+		t.Errorf("jobs/order out of sync: %d vs %d", nJobs, nOrder)
+	}
+	if _, ok := s.Job(first.ID); ok {
+		t.Error("oldest terminal job survived cap pruning")
+	}
+}
+
+// TestJobRetentionWindow prunes terminal jobs by age: after the window
+// the job ID is gone (404) but the result still answers an identical
+// resubmission from the cache.
+func TestJobRetentionWindow(t *testing.T) {
+	cfg := testConfig()
+	cfg.JobRetention = 5 * time.Millisecond
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Shutdown(context.Background())
+
+	j1, _, err := s.Submit(tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1)
+	time.Sleep(25 * time.Millisecond)
+
+	other := tinyRequest()
+	other.Seed = 2
+	j2, _, err := s.Submit(other) // any submission triggers pruning
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Job(j1.ID); ok {
+		t.Error("expired terminal job still queryable")
+	}
+	if _, ok := s.Job(j2.ID); !ok {
+		t.Error("fresh job pruned")
+	}
+	waitDone(t, j2)
+
+	// The pruned job's result lives on in the content-addressed cache.
+	j3, status, err := s.Submit(tinyRequest())
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("resubmit after prune: status=%d err=%v", status, err)
+	}
+	if st := j3.Status(true); !st.Cached || st.State != StateDone {
+		t.Errorf("resubmit not served from cache: %+v", st)
 	}
 }
 
