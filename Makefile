@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint-asm bench examples figures data serve-smoke clean
+.PHONY: all build test test-race vet lint-asm bench bench-json bench-smoke examples figures data serve-smoke clean
 
 all: test
 
@@ -38,6 +38,19 @@ lint-asm:
 # efficiencies); mirrors the harness in bench_test.go.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Append a labelled snapshot of the tracked hot-path benchmarks to
+# BENCH_PR4.json (see docs/performance.md for the format and the
+# comparison workflow). Override the label: make bench-json LABEL=tuned
+LABEL ?= snapshot
+bench-json:
+	./scripts/bench_json.sh $(LABEL)
+
+# One-iteration pass over every benchmark: catches benchmarks that
+# panic or no longer compile without paying for real measurement. CI
+# runs this; it is not a performance measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Run every example program.
 examples:

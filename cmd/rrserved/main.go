@@ -31,6 +31,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +61,7 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 		cacheDir     = fs.String("cache-dir", "", "directory for the disk cache tier (empty = memory only)")
 		jobRetention = fs.Duration("job-retention", 15*time.Minute, "how long finished jobs stay queryable by ID")
 		maxJobs      = fs.Int("max-jobs", 1024, "job table cap: oldest finished jobs are pruned past it")
+		pprofOn      = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -92,7 +94,21 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 		return 1
 	}
 	srv.Start()
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Mount the profiling endpoints explicitly rather than relying on
+		// net/http/pprof's DefaultServeMux registration, so they exist
+		// only when asked for.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		handler = mux
+	}
+	hs := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 	logger.Printf("listening on http://%s (queue=%d workers=%d cache=%dB dir=%q)",

@@ -7,6 +7,7 @@
 //	rrsim -experiment figure6 -format plot -panel F=128
 //	rrsim -experiment all -format summary
 //	rrsim -experiment figure5 -parallel 4   # bound the sweep worker pool
+//	rrsim -experiment figure5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Formats: table (default), plot (requires -panel or plots every
 // panel), csv, summary.
@@ -23,6 +24,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"regreloc/internal/experiment"
@@ -45,9 +48,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		panel    = fs.String("panel", "", "panel for -format plot (e.g. F=128); empty plots all")
 		outDir   = fs.String("o", "", "also write <experiment>.csv files into this directory")
 		parallel = fs.Int("parallel", 0, "sweep-point workers: 0 = one per core, 1 = sequential")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(stderr, "rrsim: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "rrsim: starting CPU profile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(stderr, "rrsim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "rrsim: writing heap profile: %v\n", err)
+			}
+		}()
 	}
 
 	if *list {

@@ -22,7 +22,12 @@ type Bitmap struct {
 	maxCtx   int
 	costs    CostModel
 	free     bitmap.Word
-	sizes    map[int]int // base register -> allocated size
+	// sizes[chunk] is the allocated size of the context based at chunk
+	// (0 = no context there). Indexed by base/ChunkRegisters, which is
+	// at most 63; a fixed array keeps Alloc/Free/Reset off the heap —
+	// the map this replaces was reallocated on every Reset and hashed
+	// on every Alloc, visible in sweep profiles.
+	sizes [64]int
 }
 
 // NewBitmap returns a Bitmap allocator for a register file of fileSize
@@ -45,7 +50,7 @@ func NewBitmap(fileSize, maxCtx int, costs CostModel) *Bitmap {
 // Reset implements Allocator.
 func (b *Bitmap) Reset() {
 	b.free = bitmap.Full(b.fileSize / ChunkRegisters)
-	b.sizes = make(map[int]int)
+	b.sizes = [64]int{}
 }
 
 // Alloc implements Allocator. The returned context's base is
@@ -55,32 +60,29 @@ func (b *Bitmap) Alloc(required int) (Context, bool) {
 	blockChunks := size / ChunkRegisters
 	totalChunks := b.fileSize / ChunkRegisters
 
-	var chunk int
-	if blockChunks*2 >= totalChunks {
-		// Large contexts: few candidate positions, linear search
-		// (paper's ContextAlloc64).
-		chunk, _ = b.free.FindAlignedLinear(blockChunks, totalChunks)
-	} else {
-		// Small contexts: prefix scan + binary search (ContextAlloc16).
-		chunk, _ = b.free.FindAlignedBinary(blockChunks, totalChunks)
-	}
+	// Both of the paper's search procedures (ContextAlloc64's linear
+	// scan and ContextAlloc16's prefix scan + binary search) return the
+	// lowest free aligned block; FindAligned computes that directly.
+	// The step-counted variants remain for the cost models, which
+	// charge their probe counts — the placement is identical.
+	chunk := b.free.FindAligned(blockChunks, totalChunks)
 	if chunk < 0 {
 		return Context{}, false
 	}
 	b.free = b.free.ClearBlock(chunk, blockChunks)
 	base := chunk * ChunkRegisters
-	b.sizes[base] = size
+	b.sizes[chunk] = size
 	return Context{Base: base, Size: size}, true
 }
 
 // Free implements Allocator.
 func (b *Bitmap) Free(ctx Context) {
-	size, ok := b.sizes[ctx.Base]
-	if !ok || size != ctx.Size {
+	chunk := ctx.Base / ChunkRegisters
+	if ctx.Base%ChunkRegisters != 0 || chunk < 0 || chunk >= len(b.sizes) || b.sizes[chunk] != ctx.Size || ctx.Size == 0 {
 		panic(fmt.Sprintf("alloc: freeing unallocated context %+v", ctx))
 	}
-	delete(b.sizes, ctx.Base)
-	b.free = b.free.SetBlock(ctx.Base/ChunkRegisters, ctx.Size/ChunkRegisters)
+	b.sizes[chunk] = 0
+	b.free = b.free.SetBlock(chunk, ctx.Size/ChunkRegisters)
 }
 
 // FreeRegisters implements Allocator.

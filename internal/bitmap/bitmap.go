@@ -56,12 +56,22 @@ func (w Word) BlockMap(blockChunks int) Word {
 }
 
 // alignMask returns a mask with bit i set iff i % blockChunks == 0.
+// blockChunks is a power of two in [1, 64], so the seven possible masks
+// are tabled; BlockMap sits on the allocator's hot path and the
+// mask-building loop used to show up in CPU profiles.
 func alignMask(blockChunks int) uint64 {
-	var m uint64
-	for i := 0; i < 64; i += blockChunks {
-		m |= 1 << uint(i)
-	}
-	return m
+	return alignMasks[bits.TrailingZeros64(uint64(blockChunks))]
+}
+
+// alignMasks[k] has bit i set iff i is a multiple of 1<<k.
+var alignMasks = [7]uint64{
+	0xffffffffffffffff, // 1
+	0x5555555555555555, // 2
+	0x1111111111111111, // 4
+	0x0101010101010101, // 8
+	0x0001000100010001, // 16
+	0x0000000100000001, // 32
+	0x0000000000000001, // 64
 }
 
 // FindAlignedLinear searches for a free aligned block of blockChunks
@@ -114,6 +124,16 @@ func (w Word) FindAlignedBinary(blockChunks, totalChunks int) (chunk, steps int)
 		}
 	}
 	return pos, steps
+}
+
+// FindAligned returns the chunk index of the lowest free aligned block
+// of blockChunks chunks, or -1. It computes the same answer as
+// FindAlignedBinary — the lowest set bit of the block map IS the
+// lowest aligned free block — via a single FF1, for callers that do
+// not need the probe/step counts the cost models consume.
+func (w Word) FindAligned(blockChunks, totalChunks int) int {
+	bm := w.BlockMap(blockChunks) & Word(blockMaskAt(totalChunks))
+	return bm.FF1()
 }
 
 // SetBlock marks the blockChunks chunks starting at chunk as free

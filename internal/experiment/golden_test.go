@@ -1,0 +1,44 @@
+package experiment_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"regreloc/internal/experiment"
+)
+
+// TestFigure5QuickGolden pins the figure5 quick-scale report to the
+// exact bytes it produced before the allocation-free rework of the
+// simulation hot paths (sim queue, scheduler, node state pooling,
+// allocator fast paths). Byte identity for a given seed is a hard
+// contract: the serve daemon's content-addressed result cache and the
+// parallel-vs-sequential sweep guarantee both depend on it, so any
+// optimization that changes these bytes — however slightly — is a
+// correctness bug, not a tuning choice.
+//
+// To regenerate after an INTENTIONAL behaviour change (new columns, a
+// model fix), write experiment.CSV of figure5's Run(1, Quick) report
+// over the golden file and say why in the commit message.
+func TestFigure5QuickGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick sweep is a few seconds; skipped in -short")
+	}
+	want, err := os.ReadFile("testdata/figure5_quick_seed1.golden.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := experiment.Get("figure5")
+	if !ok {
+		t.Fatal("figure5 experiment not registered")
+	}
+	r := e.Run(1, experiment.Quick)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	got := []byte(experiment.CSV(r))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("figure5 quick seed=1 report is not byte-identical to the golden file (got %d bytes, want %d); simulation results drifted",
+			len(got), len(want))
+	}
+}

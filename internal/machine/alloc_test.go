@@ -1,0 +1,40 @@
+package machine
+
+import (
+	"testing"
+
+	"regreloc/internal/asm"
+	"regreloc/internal/testutil"
+)
+
+// TestStepAllocFree pins the fetch-decode-execute path at zero
+// allocations: with the predecode cache, straight-line stepping must
+// not touch the heap.
+func TestStepAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under -race")
+	}
+	m := New(Config{})
+	m.Load(asm.MustAssemble(`
+		movi r1, 0
+		li r2, 100000000
+	loop:
+		addi r1, r1, 1
+		add r3, r1, r2
+		bne r1, r2, loop
+		halt
+	`), 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 8; i++ {
+			if err := m.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if m.Halted() {
+			t.Fatal("program ended prematurely")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Step allocated %.2f times per 8 instructions; want 0", allocs)
+	}
+}

@@ -94,6 +94,16 @@ type Machine struct {
 	// completes only once the data has arrived.
 	OnRemoteMiss func(addr int, latency uint32) (newPC int, redirect bool)
 
+	// code / codeWords form the predecode cache: code[a] is the decoded
+	// form of the word codeWords[a]. Step validates an entry by comparing
+	// codeWords[a] against Mem[a], so the cache is sound against any
+	// store into code memory (self-modifying programs, Load over old
+	// code, direct Mem pokes in tests) without invalidation hooks. The
+	// zero entry is valid for a zero word because isa.Decode(0) is the
+	// zero Instr.
+	code      []isa.Instr
+	codeWords []uint32
+
 	// arrived tracks remote words whose data has been fetched.
 	arrived map[int]bool
 	// Trace, if set, is called before each instruction executes.
@@ -118,9 +128,11 @@ func (e *Exception) Unwrap() error { return e.Cause }
 func New(cfg Config) *Machine {
 	cfg = cfg.withDefaults()
 	m := &Machine{
-		cfg: cfg,
-		RF:  regfile.New(cfg.Registers, cfg.Mode),
-		Mem: make([]uint32, cfg.MemWords),
+		cfg:       cfg,
+		RF:        regfile.New(cfg.Registers, cfg.Mode),
+		Mem:       make([]uint32, cfg.MemWords),
+		code:      make([]isa.Instr, cfg.MemWords),
+		codeWords: make([]uint32, cfg.MemWords),
 	}
 	m.RF.SetMultiRRM(cfg.MultiRRM)
 	return m
@@ -148,6 +160,8 @@ func (m *Machine) Load(p *asm.Program, base int) {
 	}
 	for i, w := range p.Words {
 		m.Mem[base+i] = uint32(w)
+		m.code[base+i] = isa.Decode(w)
+		m.codeWords[base+i] = uint32(w)
 	}
 }
 
@@ -195,7 +209,7 @@ func (m *Machine) Step() error {
 	if m.PC < 0 || m.PC >= len(m.Mem) {
 		return m.exception(fmt.Errorf("instruction fetch outside memory"))
 	}
-	in := isa.Decode(isa.Word(m.Mem[m.PC]))
+	in := m.fetch(m.PC)
 	if m.Trace != nil {
 		m.Trace(m.PC, in)
 	}
@@ -359,6 +373,23 @@ func (m *Machine) Run(maxCycles int64) error {
 		}
 	}
 	return nil
+}
+
+// fetch returns the decoded instruction at word address pc via the
+// predecode cache. A stale entry (the memory word changed since it was
+// decoded) is re-decoded and re-cached; the common case is a single
+// word compare. pc is known in-bounds for Mem; the cache is bypassed
+// if a caller swapped in a larger Mem slice.
+func (m *Machine) fetch(pc int) isa.Instr {
+	w := m.Mem[pc]
+	if pc >= len(m.code) {
+		return isa.Decode(isa.Word(w))
+	}
+	if m.codeWords[pc] != w {
+		m.code[pc] = isa.Decode(isa.Word(w))
+		m.codeWords[pc] = w
+	}
+	return m.code[pc]
 }
 
 // remoteMiss reports whether an access to addr misses in remote memory

@@ -102,7 +102,14 @@ func Simulate(cfg Config, ratePerProc float64, horizon int64, seed uint64) Resul
 		panic("network: invalid rate or horizon")
 	}
 	src := rng.New(seed)
-	var q sim.Queue
+	// One value-typed event struct for both event kinds keeps the
+	// queue's entries unboxed (no per-event allocation).
+	type netEvent struct {
+		isIssue bool
+		proc    int     // issue events
+		req     request // arrival events
+	}
+	var q sim.Queue[netEvent]
 
 	// Per-module FIFO state: the time the module frees up.
 	freeAt := make([]int64, cfg.Modules)
@@ -118,29 +125,27 @@ func Simulate(cfg Config, ratePerProc float64, horizon int64, seed uint64) Resul
 	}
 
 	// Schedule each processor's first issue.
-	type issueEvent struct{ proc int }
-	type arriveEvent struct{ req request }
 	for p := 0; p < cfg.Processors; p++ {
 		if ratePerProc > 0 {
-			q.Schedule(int64(src.Exponential(1/ratePerProc)), issueEvent{p})
+			q.Schedule(int64(src.Exponential(1/ratePerProc)), netEvent{isIssue: true, proc: p})
 		}
 	}
 
 	var res Result
 	var latencySum int64
 	for {
-		e := q.PopNext()
-		if e == nil || q.Now() > horizon {
+		ev, ok := q.PopNext()
+		if !ok || q.Now() > horizon {
 			break
 		}
-		switch ev := e.Payload.(type) {
-		case issueEvent:
+		switch {
+		case ev.isIssue:
 			// Launch a request toward a random module...
 			req := request{issued: q.Now(), module: src.Intn(cfg.Modules)}
-			q.After(transit(), arriveEvent{req})
+			q.After(transit(), netEvent{req: req})
 			// ...and schedule this processor's next issue (open loop).
-			q.After(int64(src.Exponential(1/ratePerProc))+1, issueEvent{ev.proc})
-		case arriveEvent:
+			q.After(int64(src.Exponential(1/ratePerProc))+1, netEvent{isIssue: true, proc: ev.proc})
+		default:
 			m := ev.req.module
 			start := q.Now()
 			if freeAt[m] > start {

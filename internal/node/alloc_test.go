@@ -1,0 +1,32 @@
+package node
+
+import (
+	"testing"
+
+	"regreloc/internal/policy"
+	"regreloc/internal/testutil"
+	"regreloc/internal/workload"
+)
+
+// TestRunSteadyStateAllocs guards the whole-run allocation budget.
+// Before the pooled-state/typed-queue rework a run of this shape
+// allocated once per simulated fault (thousands of allocations); with
+// the statePool, recycled thread population, and value-typed event
+// queue, steady-state runs need only a handful of fixed allocations
+// (the derived RNG source, result assembly). The generous bound still
+// fails by two orders of magnitude if any per-fault allocation comes
+// back.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under -race")
+	}
+	cfg := FlexibleConfig(128, policy.Never{}, 6)
+	spec := workload.CacheFaults(32, 256, workload.PaperCtxSize(), 16, 4000)
+	Run(cfg, spec, 1) // warm the state pool
+	allocs := testing.AllocsPerRun(20, func() {
+		Run(cfg, spec, 1)
+	})
+	if allocs > 64 {
+		t.Errorf("Run allocated %.0f times in steady state; want <= 64 (per-fault allocation regression?)", allocs)
+	}
+}

@@ -23,6 +23,7 @@ package node
 
 import (
 	"fmt"
+	"sync"
 
 	"regreloc/internal/alloc"
 	"regreloc/internal/policy"
@@ -137,6 +138,15 @@ type Result struct {
 	Allocs, AllocFails, Deallocs, Loads, Unloads, Faults, Probes int64
 }
 
+// statePool recycles simulation state — the event heap, the scheduling
+// ring's nodes and map, the FIFO's backing array, and the generated
+// thread population — across runs. A parallel sweep worker thereby
+// reuses one working set for its whole slice of the grid instead of
+// reallocating it per point. States are only returned to the pool
+// after a run completes normally, so a panicking run cannot leak a
+// dirty state into a later one.
+var statePool = sync.Pool{New: func() any { return &state{ring: sched.NewRing()} }}
+
 // Run simulates the workload on the configured node. The same seed
 // reproduces the identical run, including the generated thread
 // population.
@@ -146,20 +156,21 @@ func Run(cfg Config, spec workload.Spec, seed uint64) Result {
 		panic(fmt.Sprintf("node: incomplete config %+v", cfg))
 	}
 	src := rng.New(seed)
-	threads := spec.Generate(src.Split())
-	runSrc := src.Split()
 
-	s := &state{
-		cfg:       cfg,
-		alloc:     cfg.NewAlloc(),
-		ring:      sched.NewRing(),
-		totalWork: workload.TotalWork(threads),
-		window:    stats.NewWindow(cfg.WindowHead, cfg.WindowTail),
-		runLen:    spec.RunLen,
-		latency:   spec.Latency,
-		src:       runSrc,
-	}
-	s.res.Name = cfg.Name
+	s := statePool.Get().(*state)
+	s.threadBuf = spec.GenerateInto(src.Split(), s.threadBuf)
+	threads := s.threadBuf
+	s.cfg = cfg
+	s.alloc = cfg.NewAlloc()
+	s.totalWork = workload.TotalWork(threads)
+	s.window = stats.NewWindow(cfg.WindowHead, cfg.WindowTail)
+	s.runLen = spec.RunLen
+	s.latency = spec.Latency
+	s.src = src.Split()
+	s.acct = stats.CycleAccount{}
+	s.failMin = 0
+	s.residentIntegral, s.wasteIntegral, s.currentWaste, s.lastResidentAt = 0, 0, 0, 0
+	s.res = Result{Name: cfg.Name}
 
 	// All threads start runnable but unloaded, queued FIFO.
 	for _, t := range threads {
@@ -189,7 +200,23 @@ func Run(cfg Config, spec workload.Spec, seed uint64) Result {
 		s.res.AvgResident = float64(s.residentIntegral) / float64(s.events.Now())
 		s.res.AvgWastedRegs = float64(s.wasteIntegral) / float64(s.events.Now())
 	}
-	return s.res
+	res := s.res
+	s.release()
+	return res
+}
+
+// release returns a finished state to the pool. Ring, FIFO, and event
+// queue are empty once every thread has completed; only the clock and
+// reference fields need clearing.
+func (s *state) release() {
+	s.events.Reset()
+	s.alloc = nil
+	s.window = nil
+	s.runLen, s.latency = nil, nil
+	s.src = nil
+	s.cfg = Config{}
+	s.res = Result{}
+	statePool.Put(s)
 }
 
 // state is the running simulation.
@@ -198,9 +225,13 @@ type state struct {
 	alloc  alloc.Allocator
 	ring   *sched.Ring
 	queue  sched.FIFO
-	events sim.Queue
+	events sim.Queue[*thread.Thread]
 	acct   stats.CycleAccount
 	window *stats.Window
+
+	// threadBuf holds the generated population; the slice and its
+	// Thread structs are recycled across runs via the state pool.
+	threadBuf []*thread.Thread
 
 	runLen  rng.Dist
 	latency rng.Dist
@@ -231,12 +262,16 @@ func (s *state) charge(a stats.Activity, n int64) {
 }
 
 // chargeFor is charge with trace attribution to a thread ID (-1 for
-// anonymous processor activity).
+// anonymous processor activity). The disabled-tracer path is a plain
+// nil check rather than a method call on a nil receiver, so production
+// runs (which never trace) pay one predictable branch per charge.
 func (s *state) chargeFor(a stats.Activity, n int64, threadID int) {
 	if n == 0 {
 		return
 	}
-	s.cfg.Tracer.Record(s.events.Now(), n, threadID, a)
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Record(s.events.Now(), n, threadID, a)
+	}
 	s.acct.Charge(a, n)
 	s.advanceClock(n)
 }
@@ -244,11 +279,10 @@ func (s *state) chargeFor(a stats.Activity, n int64, threadID int) {
 // processDueEvents handles fault completions due at or before now.
 func (s *state) processDueEvents() {
 	for {
-		e := s.events.PopDue()
-		if e == nil {
+		t, ok := s.events.PopDue()
+		if !ok {
 			return
 		}
-		t := e.Payload.(*thread.Thread)
 		switch t.State {
 		case thread.BlockedResident:
 			t.State = thread.ReadyResident
@@ -322,7 +356,9 @@ func (s *state) advanceClock(n int64) {
 	// processor only notices them at the next switch (processDueEvents),
 	// which the strict Advance would reject.
 	s.events.AdvanceTo(s.events.Now() + n)
-	s.window.MaybeSnapshot(&s.acct, s.acct.Get(stats.Useful), s.totalWork)
+	if !s.window.Done() {
+		s.window.MaybeSnapshot(&s.acct, s.acct.Get(stats.Useful), s.totalWork)
+	}
 }
 
 // nextRunnable returns a runnable resident thread, preferring the
@@ -387,10 +423,14 @@ func (s *state) trySwitchSpin() bool {
 	if s.queue.Len() == 0 || s.ring.Len() == 0 {
 		return false
 	}
+	// Each iterates the live ring without allocating a snapshot; the
+	// probe loop never changes ring membership except when it stops
+	// (resuming or unloading the probed context).
 	progressed := false
-	for _, t := range s.ring.Threads() {
+	resumed := false
+	s.ring.Each(func(t *thread.Thread) bool {
 		if t.State != thread.BlockedResident {
-			continue
+			return true
 		}
 		// Probe: switch in, test, fail, switch away.
 		s.chargeFor(stats.Spin, s.cfg.ProbeCost, t.ID)
@@ -400,14 +440,17 @@ func (s *state) trySwitchSpin() bool {
 		s.processDueEvents()
 		if t.State != thread.BlockedResident {
 			// Its fault completed while probing; run it.
-			return true
+			resumed = true
+			return false
 		}
 		if s.cfg.Policy.ShouldUnload(t) {
 			s.unload(t)
-			return true
+			resumed = true
+			return false
 		}
-	}
-	return progressed
+		return true
+	})
+	return progressed || resumed
 }
 
 // unload evicts a blocked resident thread, freeing its context.
@@ -441,12 +484,16 @@ func (s *state) idleToNextEvent() {
 	}
 	idle := next - s.events.Now()
 	if idle > 0 {
-		s.cfg.Tracer.Record(s.events.Now(), idle, -1, stats.Idle)
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Record(s.events.Now(), idle, -1, stats.Idle)
+		}
 		s.residentIntegral += int64(s.ring.Len()) * (next - s.lastResidentAt)
 		s.wasteIntegral += s.currentWaste * (next - s.lastResidentAt)
 		s.lastResidentAt = next
 		s.acct.Charge(stats.Idle, idle)
 		s.events.AdvanceTo(next)
-		s.window.MaybeSnapshot(&s.acct, s.acct.Get(stats.Useful), s.totalWork)
+		if !s.window.Done() {
+			s.window.MaybeSnapshot(&s.acct, s.acct.Get(stats.Useful), s.totalWork)
+		}
 	}
 }

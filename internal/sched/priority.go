@@ -91,12 +91,31 @@ func (p *PriorityRings) NextRunnable() *thread.Thread {
 	return nil
 }
 
-// Threads returns all resident threads, highest class first, in ring
-// order.
-func (p *PriorityRings) Threads() []*thread.Thread {
-	var out []*thread.Thread
+// Each visits all resident threads, highest class first, in ring
+// order, without allocating, stopping early when fn returns false.
+func (p *PriorityRings) Each(fn func(*thread.Thread) bool) {
 	for _, r := range p.rings {
-		out = append(out, r.Threads()...)
+		stopped := false
+		r.Each(func(t *thread.Thread) bool {
+			if !fn(t) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
 	}
+}
+
+// Threads returns all resident threads, highest class first, in ring
+// order. It allocates per call; hot paths use Each.
+func (p *PriorityRings) Threads() []*thread.Thread {
+	out := make([]*thread.Thread, 0, p.Len())
+	p.Each(func(t *thread.Thread) bool {
+		out = append(out, t)
+		return true
+	})
 	return out
 }

@@ -4,6 +4,13 @@
 // from Section 2.2, generalized to multiple priority classes) and the
 // FIFO queue of runnable-but-unloaded threads (the "local thread
 // queue" whose insert/remove operations cost 10 cycles in Figure 4).
+//
+// Both structures sit on the simulator's per-fault hot path, so both
+// are engineered to be allocation-free in steady state: the ring
+// recycles its list nodes through a free list and exposes the
+// zero-allocation Each iterator (Threads, which builds a fresh slice,
+// is for inspection only), and the FIFO reuses its backing array
+// through a head index instead of re-slicing capacity away.
 package sched
 
 import (
@@ -28,6 +35,10 @@ type Ring struct {
 	cur   *ringNode
 	size  int
 	nodes map[*thread.Thread]*ringNode
+	// free recycles unlinked nodes so the load/unload churn of a long
+	// simulation stops allocating once the ring has reached its working
+	// set.
+	free *ringNode
 }
 
 // NewRing returns an empty ring.
@@ -44,7 +55,14 @@ func (r *Ring) Add(t *thread.Thread) {
 	if _, dup := r.nodes[t]; dup {
 		panic(fmt.Sprintf("sched: thread %d already in ring", t.ID))
 	}
-	n := &ringNode{t: t}
+	n := r.free
+	if n != nil {
+		r.free = n.next
+		n.next = nil
+	} else {
+		n = &ringNode{}
+	}
+	n.t = t
 	r.nodes[t] = n
 	if r.cur == nil {
 		n.prev, n.next = n, n
@@ -68,13 +86,15 @@ func (r *Ring) Remove(t *thread.Thread) {
 	r.size--
 	if r.size == 0 {
 		r.cur = nil
-		return
+	} else {
+		n.prev.next = n.next
+		n.next.prev = n.prev
+		if r.cur == n {
+			r.cur = n.next
+		}
 	}
-	n.prev.next = n.next
-	n.next.prev = n.prev
-	if r.cur == n {
-		r.cur = n.next
-	}
+	n.t, n.prev, n.next = nil, nil, r.free
+	r.free = n
 }
 
 // Current returns the thread at the round-robin pointer, or nil when
@@ -114,18 +134,32 @@ func (r *Ring) NextRunnable() (*thread.Thread, int) {
 	return nil, r.size
 }
 
-// Threads returns the resident threads in ring order starting at the
-// current position; for inspection and deterministic probing.
-func (r *Ring) Threads() []*thread.Thread {
-	out := make([]*thread.Thread, 0, r.size)
-	if r.cur == nil {
-		return out
-	}
+// Each visits the resident threads in ring order starting at the
+// current position, without allocating, stopping early when fn returns
+// false. The round-robin pointer does not move. fn may remove the
+// thread it is visiting (or mutate thread states) provided it then
+// stops the iteration; other structural changes mid-iteration are not
+// supported.
+func (r *Ring) Each(fn func(*thread.Thread) bool) {
 	n := r.cur
 	for i := 0; i < r.size; i++ {
-		out = append(out, n.t)
-		n = n.next
+		next := n.next
+		if !fn(n.t) {
+			return
+		}
+		n = next
 	}
+}
+
+// Threads returns the resident threads in ring order starting at the
+// current position. It allocates a fresh slice per call: use it for
+// inspection and tests, and Each on hot paths.
+func (r *Ring) Threads() []*thread.Thread {
+	out := make([]*thread.Thread, 0, r.size)
+	r.Each(func(t *thread.Thread) bool {
+		out = append(out, t)
+		return true
+	})
 	return out
 }
 
@@ -135,34 +169,49 @@ func (r *Ring) Contains(t *thread.Thread) bool {
 	return ok
 }
 
-// FIFO is the local thread queue of runnable-but-unloaded threads.
+// FIFO is the local thread queue of runnable-but-unloaded threads. The
+// zero value is an empty queue. Popped slots are reused: the backing
+// array is compacted instead of re-sliced away, so a long-running
+// simulation's push/pop churn settles into zero allocations.
 type FIFO struct {
 	items []*thread.Thread
+	head  int
+	// minRegs caches MinRegs; minDirty forces a rescan after the
+	// cached minimum may have left the queue.
+	minRegs  int
+	minDirty bool
 }
 
 // Len returns the queue length.
-func (q *FIFO) Len() int { return len(q.items) }
+func (q *FIFO) Len() int { return len(q.items) - q.head }
 
 // Push appends t.
-func (q *FIFO) Push(t *thread.Thread) { q.items = append(q.items, t) }
+func (q *FIFO) Push(t *thread.Thread) {
+	if !q.minDirty && (q.Len() == 0 || t.Regs < q.minRegs) {
+		q.minRegs = t.Regs
+	}
+	q.items = append(q.items, t)
+}
 
 // Pop removes and returns the head, or nil when empty.
 func (q *FIFO) Pop() *thread.Thread {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return nil
 	}
-	t := q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
+	t := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	q.compact()
+	q.dropMin(t)
 	return t
 }
 
 // Peek returns the head without removing it, or nil when empty.
 func (q *FIFO) Peek() *thread.Thread {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return nil
 	}
-	return q.items[0]
+	return q.items[q.head]
 }
 
 // PopFit removes and returns the first (oldest) thread satisfying fit,
@@ -171,11 +220,14 @@ func (q *FIFO) Peek() *thread.Thread {
 // context, a smaller queued thread can still be admitted — scheduling
 // order is under software control (Section 2.2).
 func (q *FIFO) PopFit(fit func(*thread.Thread) bool) *thread.Thread {
-	for i, t := range q.items {
+	for i := q.head; i < len(q.items); i++ {
+		t := q.items[i]
 		if fit(t) {
 			copy(q.items[i:], q.items[i+1:])
 			q.items[len(q.items)-1] = nil
 			q.items = q.items[:len(q.items)-1]
+			q.compact()
+			q.dropMin(t)
 			return t
 		}
 	}
@@ -183,14 +235,50 @@ func (q *FIFO) PopFit(fit func(*thread.Thread) bool) *thread.Thread {
 }
 
 // MinRegs returns the smallest register requirement among queued
-// threads, or 0 when empty. The runtime uses it to decide whether any
-// queued thread could possibly be admitted.
+// threads, or 0 when empty. The runtime calls it on every admission
+// pass to decide whether any queued thread could possibly fit, so the
+// value is cached: pushes maintain it incrementally and only a pop
+// that removes the current minimum forces a rescan.
 func (q *FIFO) MinRegs() int {
-	min := 0
-	for _, t := range q.items {
-		if min == 0 || t.Regs < min {
-			min = t.Regs
-		}
+	if q.Len() == 0 {
+		return 0
 	}
-	return min
+	if q.minDirty {
+		min := 0
+		for _, t := range q.items[q.head:] {
+			if min == 0 || t.Regs < min {
+				min = t.Regs
+			}
+		}
+		q.minRegs = min
+		q.minDirty = false
+	}
+	return q.minRegs
+}
+
+// dropMin invalidates the cached minimum if the removed thread could
+// have been carrying it.
+func (q *FIFO) dropMin(t *thread.Thread) {
+	if !q.minDirty && t.Regs == q.minRegs {
+		q.minDirty = true
+	}
+}
+
+// compact reclaims the popped prefix once it dominates the backing
+// array, keeping the array from growing without bound when the queue
+// never fully drains.
+func (q *FIFO) compact() {
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+		return
+	}
+	if q.head > 32 && q.head > len(q.items)/2 {
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = nil
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
 }

@@ -5,62 +5,55 @@
 // single-node engine that interleaves computation segments with
 // stochastic fault-completion events, which is exactly what this
 // package supports.
+//
+// The queue is generic over its payload type and stores events by
+// value in a hand-rolled binary heap, so scheduling and popping do not
+// allocate in steady state: no per-event heap object, no interface
+// boxing, no heap.Interface method dispatch. The node simulator
+// schedules one event per simulated fault — millions per sweep — which
+// made the previous *Event + Payload any design the top allocation
+// site of the whole repository.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Cycles is a simulation timestamp in processor cycles.
 type Cycles = int64
 
-// Event is an entry in the queue: an opaque payload due at a time.
-type Event struct {
-	At      Cycles
-	Payload any
+// Handle identifies a scheduled event for Cancel. The zero Handle is
+// never issued.
+type Handle uint64
 
-	seq int // tie-break so equal-time events pop FIFO
-	idx int // heap index
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx, h[j].idx = i, j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// entry is one pending event, stored by value in the heap slice.
+type entry[T any] struct {
+	at      Cycles
+	seq     uint64 // tie-break so equal-time events pop FIFO
+	payload T
 }
 
 // Queue is a discrete-event queue with a monotonic clock. The zero
 // value is ready to use at time 0.
-type Queue struct {
+type Queue[T any] struct {
 	now     Cycles
-	events  eventHeap
-	nextSeq int
+	events  []entry[T] // binary min-heap by (at, seq)
+	nextSeq uint64
 }
 
 // Now returns the current simulation time.
-func (q *Queue) Now() Cycles { return q.now }
+func (q *Queue[T]) Now() Cycles { return q.now }
+
+// Reset returns the queue to time 0 with no pending events, retaining
+// the heap slice's capacity so a reused queue schedules without
+// allocating. Pending payloads are zeroed so they do not pin their
+// referents.
+func (q *Queue[T]) Reset() {
+	for i := range q.events {
+		q.events[i] = entry[T]{}
+	}
+	q.events = q.events[:0]
+	q.now = 0
+	q.nextSeq = 0
+}
 
 // Advance moves the clock forward by d cycles. It panics on negative d
 // and on advancing past a pending event (events must be drained first
@@ -68,13 +61,13 @@ func (q *Queue) Now() Cycles { return q.now }
 // Callers that intentionally let the clock overrun pending events —
 // e.g. a processor that only notices fault completions at its next
 // context switch — must use AdvanceTo, which documents that intent.
-func (q *Queue) Advance(d Cycles) {
+func (q *Queue[T]) Advance(d Cycles) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative advance %d", d))
 	}
-	if len(q.events) > 0 && q.now+d > q.events[0].At {
+	if len(q.events) > 0 && q.now+d > q.events[0].at {
 		panic(fmt.Sprintf("sim: Advance(%d) from %d past pending event at %d; drain due events first or use AdvanceTo",
-			d, q.now, q.events[0].At))
+			d, q.now, q.events[0].at))
 	}
 	q.now += d
 }
@@ -82,7 +75,7 @@ func (q *Queue) Advance(d Cycles) {
 // AdvanceTo moves the clock to t (>= Now). Unlike Advance, it may move
 // the clock past pending events: they simply become due and are
 // delivered by the next PopDue.
-func (q *Queue) AdvanceTo(t Cycles) {
+func (q *Queue[T]) AdvanceTo(t Cycles) {
 	if t < q.now {
 		panic(fmt.Sprintf("sim: AdvanceTo(%d) before now (%d)", t, q.now))
 	}
@@ -90,63 +83,130 @@ func (q *Queue) AdvanceTo(t Cycles) {
 }
 
 // Schedule enqueues payload to occur at absolute time at (>= Now) and
-// returns the event, which can be passed to Cancel.
-func (q *Queue) Schedule(at Cycles, payload any) *Event {
+// returns a handle that can be passed to Cancel.
+func (q *Queue[T]) Schedule(at Cycles, payload T) Handle {
 	if at < q.now {
 		panic(fmt.Sprintf("sim: scheduling at %d in the past (now %d)", at, q.now))
 	}
-	e := &Event{At: at, Payload: payload, seq: q.nextSeq}
 	q.nextSeq++
-	heap.Push(&q.events, e)
-	return e
+	q.events = append(q.events, entry[T]{at: at, seq: q.nextSeq, payload: payload})
+	q.up(len(q.events) - 1)
+	return Handle(q.nextSeq)
 }
 
 // After enqueues payload d cycles from now.
-func (q *Queue) After(d Cycles, payload any) *Event {
+func (q *Queue[T]) After(d Cycles, payload T) Handle {
 	return q.Schedule(q.now+d, payload)
 }
 
-// Cancel removes a scheduled event. Cancelling an already-popped or
-// already-cancelled event is a no-op.
-func (q *Queue) Cancel(e *Event) {
-	if e.idx < 0 || e.idx >= len(q.events) || q.events[e.idx] != e {
-		return
+// Cancel removes a scheduled event by handle, reporting whether it was
+// still pending. Cancelling an already-popped or already-cancelled
+// event returns false. Cancel is O(n); the hot paths never cancel (a
+// blocked thread's completion is consumed, not revoked).
+func (q *Queue[T]) Cancel(h Handle) bool {
+	for i := range q.events {
+		if q.events[i].seq == uint64(h) {
+			q.removeAt(i)
+			return true
+		}
 	}
-	heap.Remove(&q.events, e.idx)
-	e.idx = -1
+	return false
 }
 
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.events) }
+func (q *Queue[T]) Len() int { return len(q.events) }
 
 // PeekTime returns the due time of the earliest pending event, or ok =
 // false if the queue is empty.
-func (q *Queue) PeekTime() (Cycles, bool) {
+func (q *Queue[T]) PeekTime() (Cycles, bool) {
 	if len(q.events) == 0 {
 		return 0, false
 	}
-	return q.events[0].At, true
+	return q.events[0].at, true
 }
 
-// PopDue removes and returns the earliest event if it is due at or
-// before the current time, else nil.
-func (q *Queue) PopDue() *Event {
-	if len(q.events) == 0 || q.events[0].At > q.now {
-		return nil
+// PopDue removes and returns the earliest payload if it is due at or
+// before the current time; ok is false when nothing is due.
+func (q *Queue[T]) PopDue() (payload T, ok bool) {
+	if len(q.events) == 0 || q.events[0].at > q.now {
+		var zero T
+		return zero, false
 	}
-	e := heap.Pop(&q.events).(*Event)
-	e.idx = -1
-	return e
+	payload = q.events[0].payload
+	q.removeAt(0)
+	return payload, true
 }
 
-// PopNext removes and returns the earliest event regardless of the
-// clock, advancing the clock to its time. It returns nil when empty.
-func (q *Queue) PopNext() *Event {
+// PopNext removes and returns the earliest payload regardless of the
+// clock, advancing the clock to its time; ok is false when empty.
+func (q *Queue[T]) PopNext() (payload T, ok bool) {
 	if len(q.events) == 0 {
-		return nil
+		var zero T
+		return zero, false
 	}
-	e := heap.Pop(&q.events).(*Event)
-	e.idx = -1
-	q.now = e.At
-	return e
+	payload = q.events[0].payload
+	q.now = q.events[0].at
+	q.removeAt(0)
+	return payload, true
+}
+
+// removeAt deletes the entry at heap index i, restoring heap order.
+// The vacated tail slot is zeroed so pointer payloads do not pin their
+// referents; the slice's capacity is retained, which is what makes the
+// schedule/pop cycle allocation-free once the queue has warmed up.
+func (q *Queue[T]) removeAt(i int) {
+	n := len(q.events) - 1
+	if i != n {
+		q.events[i] = q.events[n]
+	}
+	q.events[n] = entry[T]{}
+	q.events = q.events[:n]
+	if i < n {
+		if !q.down(i) {
+			q.up(i)
+		}
+	}
+}
+
+// less orders the heap by due time, then FIFO by sequence.
+func (q *Queue[T]) less(i, j int) bool {
+	a, b := &q.events[i], &q.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// up restores the heap invariant after inserting at index i.
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.events[i], q.events[parent] = q.events[parent], q.events[i]
+		i = parent
+	}
+}
+
+// down restores the heap invariant after replacing index i, reporting
+// whether the entry moved.
+func (q *Queue[T]) down(i int) bool {
+	start := i
+	n := len(q.events)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && q.less(r, child) {
+			child = r
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q.events[i], q.events[child] = q.events[child], q.events[i]
+		i = child
+	}
+	return i > start
 }

@@ -3,10 +3,12 @@ package sim
 import (
 	"testing"
 	"testing/quick"
+
+	"regreloc/internal/testutil"
 )
 
 func TestClockAdvance(t *testing.T) {
-	var q Queue
+	var q Queue[string]
 	if q.Now() != 0 {
 		t.Fatal("clock not at 0")
 	}
@@ -18,7 +20,7 @@ func TestClockAdvance(t *testing.T) {
 }
 
 func TestAdvanceNegativePanics(t *testing.T) {
-	var q Queue
+	var q Queue[string]
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic")
@@ -28,10 +30,10 @@ func TestAdvanceNegativePanics(t *testing.T) {
 }
 
 func TestAdvancePastPendingEventPanics(t *testing.T) {
-	var q Queue
+	var q Queue[string]
 	q.Schedule(10, "x")
 	q.Advance(10) // exactly onto the due time is allowed...
-	if e := q.PopDue(); e == nil || e.Payload != "x" {
+	if p, ok := q.PopDue(); !ok || p != "x" {
 		t.Fatal("event not due after advancing onto its time")
 	}
 	q.Schedule(15, "y")
@@ -46,16 +48,16 @@ func TestAdvancePastPendingEventPanics(t *testing.T) {
 func TestAdvanceToMayPassPendingEvents(t *testing.T) {
 	// AdvanceTo is the documented escape hatch for callers that notice
 	// events late (the node simulator's run segments).
-	var q Queue
+	var q Queue[string]
 	q.Schedule(10, "x")
 	q.AdvanceTo(25)
-	if e := q.PopDue(); e == nil || e.Payload != "x" {
+	if p, ok := q.PopDue(); !ok || p != "x" {
 		t.Fatal("overrun event not delivered by PopDue")
 	}
 }
 
 func TestAdvanceToPastPanics(t *testing.T) {
-	var q Queue
+	var q Queue[string]
 	q.Advance(10)
 	defer func() {
 		if recover() == nil {
@@ -66,24 +68,25 @@ func TestAdvanceToPastPanics(t *testing.T) {
 }
 
 func TestSchedulePastPanics(t *testing.T) {
-	var q Queue
+	var q Queue[int]
 	q.Advance(10)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic")
 		}
 	}()
-	q.Schedule(5, nil)
+	q.Schedule(5, 0)
 }
 
 func TestEventsPopInTimeOrder(t *testing.T) {
-	var q Queue
+	var q Queue[string]
 	q.Schedule(30, "c")
 	q.Schedule(10, "a")
 	q.Schedule(20, "b")
 	var got []string
 	for q.Len() > 0 {
-		got = append(got, q.PopNext().Payload.(string))
+		p, _ := q.PopNext()
+		got = append(got, p)
 	}
 	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
 		t.Errorf("order = %v", got)
@@ -94,91 +97,97 @@ func TestEventsPopInTimeOrder(t *testing.T) {
 }
 
 func TestEqualTimesPopFIFO(t *testing.T) {
-	var q Queue
+	var q Queue[int]
 	for i := 0; i < 10; i++ {
 		q.Schedule(5, i)
 	}
 	for i := 0; i < 10; i++ {
-		if got := q.PopNext().Payload.(int); got != i {
+		if got, _ := q.PopNext(); got != i {
 			t.Fatalf("pop %d = %d", i, got)
 		}
 	}
 }
 
 func TestPopDueRespectsClock(t *testing.T) {
-	var q Queue
+	var q Queue[string]
 	q.Schedule(10, "x")
-	if q.PopDue() != nil {
+	if _, ok := q.PopDue(); ok {
 		t.Fatal("event popped before due")
 	}
 	q.Advance(10)
-	e := q.PopDue()
-	if e == nil || e.Payload != "x" {
+	p, ok := q.PopDue()
+	if !ok || p != "x" {
 		t.Fatal("due event not popped")
 	}
-	if q.PopDue() != nil {
+	if _, ok := q.PopDue(); ok {
 		t.Fatal("pop from empty")
 	}
 }
 
 func TestAfter(t *testing.T) {
-	var q Queue
+	var q Queue[int]
 	q.Advance(100)
-	e := q.After(50, nil)
-	if e.At != 150 {
-		t.Errorf("After scheduled at %d", e.At)
+	q.After(50, 7)
+	if at, ok := q.PeekTime(); !ok || at != 150 {
+		t.Errorf("After scheduled at %d (ok=%v)", at, ok)
 	}
 }
 
 func TestCancel(t *testing.T) {
-	var q Queue
+	var q Queue[string]
 	a := q.Schedule(10, "a")
 	q.Schedule(20, "b")
-	q.Cancel(a)
+	if !q.Cancel(a) {
+		t.Fatal("cancel of pending event reported false")
+	}
 	if q.Len() != 1 {
 		t.Fatalf("len = %d", q.Len())
 	}
-	if got := q.PopNext().Payload.(string); got != "b" {
+	if got, _ := q.PopNext(); got != "b" {
 		t.Errorf("popped %q", got)
 	}
 	// Double-cancel and cancel-after-pop are no-ops.
-	q.Cancel(a)
+	if q.Cancel(a) {
+		t.Fatal("double-cancel reported true")
+	}
 	b := q.Schedule(30, "c")
 	q.PopNext()
-	q.Cancel(b)
+	if q.Cancel(b) {
+		t.Fatal("cancel-after-pop reported true")
+	}
 }
 
 func TestPeekTime(t *testing.T) {
-	var q Queue
+	var q Queue[int]
 	if _, ok := q.PeekTime(); ok {
 		t.Fatal("peek on empty")
 	}
-	q.Schedule(42, nil)
+	q.Schedule(42, 0)
 	if at, ok := q.PeekTime(); !ok || at != 42 {
 		t.Errorf("peek = %d, %v", at, ok)
 	}
 }
 
 func TestPopNextEmpty(t *testing.T) {
-	var q Queue
-	if q.PopNext() != nil {
+	var q Queue[int]
+	if _, ok := q.PopNext(); ok {
 		t.Fatal("PopNext on empty queue")
 	}
 }
 
 func TestHeapOrderProperty(t *testing.T) {
 	f := func(times []uint16) bool {
-		var q Queue
+		var q Queue[int]
 		for _, at := range times {
-			q.Schedule(int64(at), nil)
+			q.Schedule(int64(at), 0)
 		}
 		last := int64(-1)
 		for q.Len() > 0 {
-			e := q.PopNext()
-			if e.At < last {
+			at, _ := q.PeekTime()
+			if _, ok := q.PopNext(); !ok || at < last {
 				return false
 			}
-			last = e.At
+			last = at
 		}
 		return true
 	}
@@ -192,26 +201,100 @@ func TestCancelMiddleOfHeapProperty(t *testing.T) {
 		if len(times) == 0 {
 			return true
 		}
-		var q Queue
-		evs := make([]*Event, len(times))
+		var q Queue[int]
+		handles := make([]Handle, len(times))
 		for i, at := range times {
-			evs[i] = q.Schedule(int64(at), i)
+			handles[i] = q.Schedule(int64(at), i)
 		}
-		victim := int(cancelIdx) % len(evs)
-		q.Cancel(evs[victim])
+		victim := int(cancelIdx) % len(handles)
+		if !q.Cancel(handles[victim]) {
+			return false
+		}
 		seen := 0
 		last := int64(-1)
 		for q.Len() > 0 {
-			e := q.PopNext()
-			if e.Payload.(int) == victim || e.At < last {
+			at, _ := q.PeekTime()
+			p, ok := q.PopNext()
+			if !ok || p == victim || at < last {
 				return false
 			}
-			last = e.At
+			last = at
 			seen++
 		}
 		return seen == len(times)-1
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestFIFOAcrossMixedSchedules pins the tie-break contract the node
+// simulator depends on: equal-time events pop in schedule order even
+// when interleaved with earlier and later events.
+func TestFIFOAcrossMixedSchedules(t *testing.T) {
+	var q Queue[int]
+	q.Schedule(50, 100)
+	for i := 0; i < 5; i++ {
+		q.Schedule(20, i)
+	}
+	q.Schedule(10, 200)
+	if p, _ := q.PopNext(); p != 200 {
+		t.Fatal("earliest event did not pop first")
+	}
+	for i := 0; i < 5; i++ {
+		if p, _ := q.PopNext(); p != i {
+			t.Fatalf("equal-time pop %d out of FIFO order", i)
+		}
+	}
+	if p, _ := q.PopNext(); p != 100 {
+		t.Fatal("latest event did not pop last")
+	}
+}
+
+// TestScheduleAllocFree is the allocation-regression gate for the
+// event queue: once the heap slice has grown to its working size,
+// a schedule/pop cycle must not allocate (the per-fault hot path of
+// every node simulation).
+func TestScheduleAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under -race")
+	}
+	var q Queue[*int]
+	payload := new(int)
+	// Warm the heap slice to its working capacity.
+	for i := 0; i < 64; i++ {
+		q.Schedule(int64(i), payload)
+	}
+	for q.Len() > 0 {
+		q.PopNext()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		q.Schedule(q.Now()+10, payload)
+		q.Schedule(q.Now()+5, payload)
+		if _, ok := q.PopNext(); !ok {
+			t.Fatal("lost event")
+		}
+		if _, ok := q.PopNext(); !ok {
+			t.Fatal("lost event")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("schedule/pop cycle allocates %v times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkSchedulePop(b *testing.B) {
+	var q Queue[*int]
+	payload := new(int)
+	for i := 0; i < 32; i++ {
+		q.Schedule(int64(i), payload)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(q.Now()+64, payload)
+		if _, ok := q.PopNext(); !ok {
+			b.Fatal("lost event")
+		}
 	}
 }

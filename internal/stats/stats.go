@@ -351,6 +351,12 @@ func (w *Window) MaybeSnapshot(acct *CycleAccount, now, expectedTotal int64) {
 	}
 }
 
+// Done reports whether both snapshots have been taken, i.e. further
+// MaybeSnapshot calls are no-ops. The simulator checks it to keep the
+// per-charge bookkeeping branch-predictable once the window has
+// closed.
+func (w *Window) Done() bool { return w.headTaken && w.tailTaken }
+
 // Measure returns the windowed account. With no head snapshot (a very
 // short run) the whole run is returned; with no tail snapshot the
 // window extends to the final account.

@@ -1,0 +1,6 @@
+//go:build !race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in.
+const RaceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// allocation-regression tests skip under -race: the detector
+// instruments allocations, so testing.AllocsPerRun would report its
+// bookkeeping, not the code under test.
+const RaceEnabled = true

@@ -80,10 +80,20 @@ type Thread struct {
 // New returns a thread requiring regs registers with the given total
 // work.
 func New(id, regs int, work int64) *Thread {
+	t := new(Thread)
+	t.Init(id, regs, work)
+	return t
+}
+
+// Init (re)initializes t in place, clearing all scheduling state and
+// accounting. The workload generator uses it to recycle Thread structs
+// across simulation runs, so a reused thread behaves identically to a
+// freshly allocated one.
+func (t *Thread) Init(id, regs int, work int64) {
 	if regs <= 0 || work <= 0 {
 		panic(fmt.Sprintf("thread: invalid thread %d: regs=%d work=%d", id, regs, work))
 	}
-	return &Thread{ID: id, Regs: regs, WorkLeft: work}
+	*t = Thread{ID: id, Regs: regs, WorkLeft: work}
 }
 
 // LoadCost returns the cycles to load this thread's registers into a

@@ -51,17 +51,36 @@ func (s Spec) Validate() error {
 // Generate materializes the thread population using src. The same seed
 // reproduces the same population.
 func (s Spec) Generate(src *rng.Source) []*thread.Thread {
+	return s.GenerateInto(src, nil)
+}
+
+// GenerateInto is Generate recycling buf's slice capacity and Thread
+// structs, so a sweep harness running many simulations back to back
+// stops allocating a fresh population per grid point. Recycled threads
+// are fully reinitialized; the produced population is identical to
+// Generate's for the same src state.
+func (s Spec) GenerateInto(src *rng.Source, buf []*thread.Thread) []*thread.Thread {
 	if err := s.Validate(); err != nil {
 		panic(err)
 	}
-	out := make([]*thread.Thread, s.Threads)
+	out := buf
+	if cap(out) < s.Threads {
+		out = make([]*thread.Thread, s.Threads)
+		copy(out, buf) // keep the already-allocated Thread structs
+	} else {
+		out = out[:s.Threads]
+	}
 	for i := range out {
 		regs := s.CtxSize.Sample(src)
 		work := int64(s.Work.Sample(src))
 		if work < 1 {
 			work = 1
 		}
-		out[i] = thread.New(i, regs, work)
+		if out[i] == nil {
+			out[i] = thread.New(i, regs, work)
+		} else {
+			out[i].Init(i, regs, work)
+		}
 	}
 	return out
 }

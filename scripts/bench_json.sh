@@ -1,0 +1,79 @@
+#!/bin/sh
+# bench_json.sh — run the key benchmarks and append one JSON snapshot
+# to the benchmark-trajectory file (BENCH_PR4.json by default).
+#
+# Usage:
+#   scripts/bench_json.sh <label> [outfile]
+#
+# The outfile is a JSON array of snapshots, one per invocation:
+#
+#   [
+#     {
+#       "label": "pr4-baseline",
+#       "goos": "linux", "goarch": "amd64", "cpu": "...",
+#       "benchmarks": [
+#         {"name": "NodeSimulation", "iterations": 594,
+#          "ns_per_op": 4122407.0, "bytes_per_op": 608773,
+#          "allocs_per_op": 13700, "metrics": {"Mcycles/s": 167.5}}
+#       ]
+#     }
+#   ]
+#
+# Future PRs append comparable snapshots (same benches, same machine
+# class) so the trajectory shows every regression or win; see
+# docs/performance.md for the conventions.
+set -eu
+
+LABEL=${1:?"usage: scripts/bench_json.sh <label> [outfile]"}
+OUT=${2:-BENCH_PR4.json}
+BENCHES='BenchmarkNodeSimulation$|BenchmarkSweepParallel$|BenchmarkMachineExecution$|BenchmarkFigure5/F128'
+
+RAW=$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime 2s -count 1 .)
+
+SNAP=$(printf '%s\n' "$RAW" | awk -v label="$LABEL" '
+function jnum(s) { return s + 0 }
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    sub(/^Benchmark/, "", name)
+    iters = $2
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, iters)
+    metrics = ""
+    # Fields come in (value, unit) pairs after the iteration count.
+    for (i = 3; i + 1 <= NF; i += 2) {
+        v = $i; u = $(i + 1)
+        if (u == "ns/op")           line = line sprintf(", \"ns_per_op\": %s", jnum(v))
+        else if (u == "B/op")       line = line sprintf(", \"bytes_per_op\": %s", jnum(v))
+        else if (u == "allocs/op")  line = line sprintf(", \"allocs_per_op\": %s", jnum(v))
+        else {
+            if (metrics != "") metrics = metrics ", "
+            metrics = metrics sprintf("\"%s\": %s", u, jnum(v))
+        }
+    }
+    line = line sprintf(", \"metrics\": {%s}}", metrics)
+    benches[++n] = line
+}
+END {
+    printf "  {\n    \"label\": \"%s\",\n", label
+    printf "    \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\",\n", goos, goarch, cpu
+    printf "    \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) printf "  %s%s\n", benches[i], (i < n ? "," : "")
+    printf "    ]\n  }"
+}')
+
+if [ ! -s "$OUT" ]; then
+    printf '[\n%s\n]\n' "$SNAP" > "$OUT"
+else
+    # Append the snapshot before the closing bracket.
+    TMP=$(mktemp)
+    sed '$d' "$OUT" > "$TMP"            # drop the final "]"
+    # Add a comma to the last snapshot's closing brace.
+    sed -i '$s/}$/},/' "$TMP"
+    printf '%s\n]\n' "$SNAP" >> "$TMP"
+    mv "$TMP" "$OUT"
+fi
+printf '%s\n' "$RAW" >&2
+echo "appended snapshot \"$LABEL\" to $OUT" >&2
