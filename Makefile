@@ -16,9 +16,10 @@ test: vet
 	$(GO) test ./...
 
 # Race-detect the concurrent experiment harness, the event queue it
-# drives, and the serving layer (queue + worker pool + cache).
+# drives, the serving layer (queue + worker pool + cache), and the
+# point store's cross-job single-flight coalescing.
 test-race:
-	$(GO) test -race ./internal/experiment/... ./internal/sim/... ./internal/serve/... ./cmd/rrserved/...
+	$(GO) test -race ./internal/experiment/... ./internal/sim/... ./internal/serve/... ./internal/pointstore/... ./cmd/rrserved/...
 
 # End-to-end smoke test of the rrserved daemon: boot, submit a sweep
 # over HTTP, poll to completion, check cache + metrics counters, drain
@@ -39,12 +40,13 @@ lint-asm:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Append a labelled snapshot of the tracked hot-path benchmarks to
-# BENCH_PR4.json (see docs/performance.md for the format and the
-# comparison workflow). Override the label: make bench-json LABEL=tuned
+# Append a labelled snapshot of the tracked hot-path benchmarks to the
+# trajectory file (see docs/performance.md for the format and the
+# comparison workflow). Override either: make bench-json LABEL=tuned
 LABEL ?= snapshot
+BENCH_OUT ?= BENCH_PR5.json
 bench-json:
-	./scripts/bench_json.sh $(LABEL)
+	./scripts/bench_json.sh $(LABEL) $(BENCH_OUT)
 
 # One-iteration pass over every benchmark: catches benchmarks that
 # panic or no longer compile without paying for real measurement. CI

@@ -6,8 +6,12 @@
 package regreloc_test
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"log"
 	"testing"
+	"time"
 
 	"regreloc"
 	"regreloc/internal/alloc"
@@ -17,6 +21,7 @@ import (
 	"regreloc/internal/policy"
 	"regreloc/internal/regfile"
 	"regreloc/internal/rng"
+	"regreloc/internal/serve"
 	"regreloc/internal/workload"
 )
 
@@ -75,6 +80,79 @@ func benchSweepWorkers(b *testing.B, workers int) {
 
 func BenchmarkSweepSequential(b *testing.B) { benchSweepWorkers(b, 1) }
 func BenchmarkSweepParallel(b *testing.B)   { benchSweepWorkers(b, 0) }
+
+// The serving layer's point-granular memoization: a figure5 grid
+// submitted to a fresh daemon ("cold") vs the same grid where an
+// earlier job already covered half its cells ("overlap50"). Only the
+// timed submission counts; the warm-up job and server setup run with
+// the timer stopped. simulated_frac is the fraction of the request's
+// cells the timed submission actually simulated (1.0 cold, 0.5 with
+// the overlap); points/s is the client-observed assembly rate, which
+// the point store should raise by >= 2x on the overlapping re-submit.
+func benchServeOverlap(b *testing.B, warmFirst bool) {
+	b.Helper()
+	submit := func(s *serve.Server, req serve.Request) {
+		b.Helper()
+		j, _, err := s.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(time.Minute):
+			b.Fatalf("job %s stuck in state %s", j.ID, j.StateNow())
+		}
+		if st := j.StateNow(); st != serve.StateDone {
+			b.Fatalf("job state = %s", st)
+		}
+	}
+	const totalPoints = 16 // 1 F x 2 R x 4 L x 2 architectures
+	var simulated int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// One engine worker per job: elapsed time is then proportional
+		// to the work actually simulated rather than to the host's core
+		// count (on a many-core machine a parallel sweep finishes in the
+		// time of its slowest point, masking the cells the store saved).
+		s, err := serve.New(serve.Config{
+			QueueCap:     8,
+			Workers:      2,
+			PointWorkers: 1,
+			JobTimeout:   time.Minute,
+			Logger:       log.New(io.Discard, "", 0),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Start()
+		// A fresh seed per iteration keeps the report cache out of the
+		// comparison: each timed submission is a genuinely new request.
+		seed := uint64(i + 1)
+		full := serve.Request{Experiment: "figure5", Seed: seed, Scale: "quick",
+			F: []int{64}, R: []int{8, 32}, L: []int{16, 32, 64, 128}}
+		if warmFirst {
+			warm := full
+			warm.R = []int{8} // the shared (and costlier) half of the grid
+			submit(s, warm)
+		}
+		before := s.PointCounters().Misses
+		b.StartTimer()
+		submit(s, full)
+		b.StopTimer()
+		simulated += s.PointCounters().Misses - before
+		s.Shutdown(context.Background())
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(totalPoints)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	b.ReportMetric(float64(simulated)/float64(totalPoints*b.N), "simulated_frac")
+}
+
+func BenchmarkServeGridOverlap(b *testing.B) {
+	b.Run("cold", func(b *testing.B) { benchServeOverlap(b, false) })
+	b.Run("overlap50", func(b *testing.B) { benchServeOverlap(b, true) })
+}
 
 // Figure 5: cache faults, one bench per register file size panel.
 func BenchmarkFigure5(b *testing.B) {

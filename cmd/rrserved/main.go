@@ -8,6 +8,7 @@
 //
 //	rrserved -addr 127.0.0.1:8347 -queue 64 -workers 2
 //	rrserved -cache-dir /var/cache/rrserved -cache-bytes 67108864
+//	rrserved -point-cache-dir /var/cache/rrserved-points   # reuse sweep points across overlapping jobs
 //
 // API (see docs/serve.md for the full reference):
 //
@@ -59,6 +60,8 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 		cacheBytes   = fs.Int64("cache-bytes", 64<<20, "in-memory result cache budget in bytes")
 		cacheDir     = fs.String("cache-dir", "", "directory for the disk cache tier (empty = memory only)")
+		pointBytes   = fs.Int64("point-cache-bytes", 32<<20, "in-memory point-store budget in bytes (negative disables point memoization)")
+		pointDir     = fs.String("point-cache-dir", "", "directory for the point store's disk tier (empty = memory only)")
 		jobRetention = fs.Duration("job-retention", 15*time.Minute, "how long finished jobs stay queryable by ID")
 		maxJobs      = fs.Int("max-jobs", 1024, "job table cap: oldest finished jobs are pruned past it")
 		pprofOn      = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
@@ -73,15 +76,17 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 	logger := log.New(stderr, "rrserved ", log.LstdFlags|log.Lmsgprefix)
 
 	srv, err := serve.New(serve.Config{
-		QueueCap:     *queueCap,
-		Workers:      *workers,
-		PointWorkers: *pointWorkers,
-		JobTimeout:   *jobTimeout,
-		CacheBytes:   *cacheBytes,
-		CacheDir:     *cacheDir,
-		JobRetention: *jobRetention,
-		MaxJobs:      *maxJobs,
-		Logger:       logger,
+		QueueCap:        *queueCap,
+		Workers:         *workers,
+		PointWorkers:    *pointWorkers,
+		JobTimeout:      *jobTimeout,
+		CacheBytes:      *cacheBytes,
+		CacheDir:        *cacheDir,
+		PointCacheBytes: *pointBytes,
+		PointCacheDir:   *pointDir,
+		JobRetention:    *jobRetention,
+		MaxJobs:         *maxJobs,
+		Logger:          logger,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "rrserved: %v\n", err)

@@ -7,6 +7,7 @@
 //	rrsim -experiment figure6 -format plot -panel F=128
 //	rrsim -experiment all -format summary
 //	rrsim -experiment figure5 -parallel 4   # bound the sweep worker pool
+//	rrsim -experiment figure5 -pointcache ~/.cache/rrsim  # reuse sweep points across runs
 //	rrsim -experiment figure5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Formats: table (default), plot (requires -panel or plots every
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"regreloc/internal/experiment"
+	"regreloc/internal/pointstore"
 )
 
 func main() {
@@ -48,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		panel    = fs.String("panel", "", "panel for -format plot (e.g. F=128); empty plots all")
 		outDir   = fs.String("o", "", "also write <experiment>.csv files into this directory")
 		parallel = fs.Int("parallel", 0, "sweep-point workers: 0 = one per core, 1 = sequential")
+		ptCache  = fs.String("pointcache", "", "directory memoizing per-point results across runs (incremental sweeps)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -114,6 +117,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	sc.Workers = *parallel
 
+	// -pointcache memoizes individual sweep points on disk, so rerunning
+	// after an interrupted or partially overlapping sweep only simulates
+	// the cells that changed. Sound because a point's bytes are a pure
+	// function of its content address (engine version included).
+	var store *pointstore.Store
+	if *ptCache != "" {
+		var err error
+		store, err = pointstore.New(64<<20, *ptCache)
+		if err != nil {
+			fmt.Fprintf(stderr, "rrsim: %v\n", err)
+			return 1
+		}
+		sc.PointStore = store
+		defer func() {
+			if err := store.SaveIndex(); err != nil {
+				fmt.Fprintf(stderr, "rrsim: saving point cache index: %v\n", err)
+			}
+			c := store.Counters()
+			fmt.Fprintf(stderr, "rrsim: point cache: %d hits, %d misses (%d entries in memory, %d on disk)\n",
+				c.Hits, c.Misses, store.Len(), store.DiskLen())
+		}()
+	}
+
 	var exps []experiment.Experiment
 	if *expID == "all" {
 		exps = experiment.All()
@@ -136,8 +162,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, e := range exps {
 		// Live progress (throttled) plus a wall-time summary per
 		// experiment, both on stderr so piped output stays clean. The
-		// hook rides on the per-run Scale rather than the deprecated
-		// process-global experiment.SetProgress.
+		// hook rides on the per-run Scale, so concurrent runs (none
+		// today) could not interleave their updates.
 		start := time.Now()
 		lastUpdate := start
 		runScale := sc

@@ -79,6 +79,31 @@ func TestParallelFlag(t *testing.T) {
 	}
 }
 
+// TestPointCacheFlag runs the same cheap sweep twice against one
+// -pointcache directory: identical output both times, with the second
+// run served entirely from the persisted point store.
+func TestPointCacheFlag(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-experiment", "ablation-policy", "-scale", "quick", "-format", "csv", "-pointcache", dir}
+	var cold, warm, coldErr, warmErr strings.Builder
+	if code := run(args, &cold, &coldErr); code != 0 {
+		t.Fatalf("cold exit %d: %s", code, coldErr.String())
+	}
+	if !strings.Contains(coldErr.String(), "point cache: 0 hits") {
+		t.Errorf("cold run stderr missing cache summary: %q", coldErr.String())
+	}
+	if code := run(args, &warm, &warmErr); code != 0 {
+		t.Fatalf("warm exit %d: %s", code, warmErr.String())
+	}
+	if cold.String() != warm.String() {
+		t.Errorf("-pointcache changed the output between runs:\ncold:\n%s\nwarm:\n%s",
+			cold.String(), warm.String())
+	}
+	if !strings.Contains(warmErr.String(), "0 misses") {
+		t.Errorf("warm run still simulated: %q", warmErr.String())
+	}
+}
+
 func TestCSVOutputDir(t *testing.T) {
 	dir := t.TempDir()
 	var out, errOut strings.Builder

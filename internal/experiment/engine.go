@@ -20,6 +20,12 @@ import (
 //   - Results are written by point index and flattened in list order,
 //     so Report.Points stays panel-major regardless of worker count.
 //
+// Those same properties make points memoizable: a point's measurements
+// are a pure function of its content address (point.key), so when the
+// scale carries a PointStore the engine partitions the sweep into
+// cached / in-flight / to-compute, simulates only the last group, and
+// assembles a report byte-identical to a cold run.
+//
 // The engine is also cancellable: Scale carries a context
 // (Scale.WithContext), checked between points, so a long sweep whose
 // consumer has gone away stops burning worker cycles mid-grid. A
@@ -27,9 +33,12 @@ import (
 
 // point is one schedulable measurement cell: a pre-derived seed plus
 // the function producing the cell's measurements. run must not touch
-// state shared with other points.
+// state shared with other points. key, when non-empty, is the cell's
+// content address (pointKey) and makes it memoizable; points without a
+// key always simulate.
 type point struct {
 	seed uint64
+	key  string
 	run  func(seed uint64) []Measurement
 }
 
@@ -38,11 +47,87 @@ type point struct {
 // scale's context is cancelled mid-sweep the flattened completed cells
 // are returned together with the context error; cells not yet started
 // are skipped.
+//
+// With a point store on the scale, keyed points resolve through it:
+// already-stored cells are decoded instead of simulated, cells being
+// computed by a concurrent sweep are joined (single-flight), and only
+// the remainder runs on the worker pool — with each computed cell
+// encoded into the store for the next overlapping sweep. The cache is
+// strictly an accelerator: any decode trouble falls back to local
+// simulation, and the assembled measurements are byte-identical to a
+// cold run because every cell is a pure function of its key.
 func execute(scale Scale, pts []point) ([]Measurement, error) {
 	results := make([][]Measurement, len(pts))
-	err := scale.forEach(len(pts), func(i int) {
-		results[i] = pts[i].run(pts[i].seed)
+	store := scale.PointStore
+	progress := scale.progressHook()
+
+	// Cached pre-pass: resolve every already-stored point up front, so
+	// the worker pool (and the progress denominator's remaining share)
+	// covers only cells that need simulating. todo holds the indices
+	// left to run.
+	var todo []int
+	if store != nil {
+		for i := range pts {
+			if k := pts[i].key; k != "" && store.Contains(k) {
+				// Contains first so an absent point costs no miss here:
+				// the store's miss counter belongs to the Do below, which
+				// is what actually pays for the simulation.
+				if data, ok := store.Get(k); ok {
+					if ms, err := decodeMeasurements(data); err == nil {
+						results[i] = ms
+						continue
+					}
+					// Undecodable entry (e.g. written by a codec this
+					// build no longer speaks): recompute locally.
+					// Correctness never depends on the cache.
+				}
+			}
+			todo = append(todo, i)
+		}
+	} else {
+		todo = make([]int, len(pts))
+		for i := range todo {
+			todo[i] = i
+		}
+	}
+
+	cached := len(pts) - len(todo)
+	if progress != nil && cached > 0 {
+		// Cache-resolved cells count as done immediately, so a consumer
+		// watching progress sees an 80%-cached sweep start at 80%.
+		progress(cached, len(pts))
+	}
+
+	err := forEach(scale.Context(), scale.workers(), cached, len(pts), progress, len(todo), func(ti int) {
+		i := todo[ti]
+		p := pts[i]
+		if store == nil || p.key == "" {
+			results[i] = p.run(p.seed)
+			return
+		}
+		// Single-flight through the store: if a concurrent sweep is
+		// already simulating this cell we wait and share its bytes;
+		// otherwise we simulate, keep the measurements, and store their
+		// encoding. ms doubles as the "computed locally" marker so the
+		// leader never pays a decode round-trip for its own result.
+		var ms []Measurement
+		data, doErr := store.Do(p.key, func() ([]byte, error) {
+			ms = p.run(p.seed)
+			return encodeMeasurements(ms), nil
+		})
+		if ms == nil {
+			if doErr == nil {
+				ms, doErr = decodeMeasurements(data)
+			}
+			if doErr != nil {
+				// Joined a flight that failed, or shared bytes we cannot
+				// decode: simulate locally rather than failing the sweep.
+				ms = p.run(p.seed)
+			}
+		}
+		results[i] = ms
 	})
+
 	var out []Measurement
 	for _, ms := range results {
 		out = append(out, ms...)
@@ -58,14 +143,17 @@ func execute(scale Scale, pts []point) ([]Measurement, error) {
 // need error handling) use it directly with an indexed results slice;
 // grid sweeps go through execute.
 func (s Scale) forEach(n int, fn func(i int)) error {
-	return forEach(s.Context(), s.workers(), n, s.progressHook(), fn)
+	return forEach(s.Context(), s.workers(), 0, n, s.progressHook(), n, fn)
 }
 
 // forEach is the engine core. workers <= 0 means one per core. The
 // context is polled between iterations: already-running iterations
 // complete, unstarted ones are abandoned, and the context error is
-// returned. progress may be nil.
-func forEach(ctx context.Context, workers, n int, progress func(done, total int), fn func(i int)) error {
+// returned. progress may be nil; it receives done counts offset by
+// done0 against total, so a sweep that resolved part of its cells from
+// cache reports progress over the whole sweep, not just the simulated
+// remainder.
+func forEach(ctx context.Context, workers, done0, total int, progress func(done, total int), n int, fn func(i int)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -74,7 +162,7 @@ func forEach(ctx context.Context, workers, n int, progress func(done, total int)
 	}
 	report := func(done int) {
 		if progress != nil {
-			progress(done, n)
+			progress(done0+done, total)
 		}
 	}
 	if workers <= 1 {
@@ -117,53 +205,19 @@ func forEach(ctx context.Context, workers, n int, progress func(done, total int)
 	return ctx.Err()
 }
 
-// progressHook combines the per-call Scale.Progress hook with the
-// deprecated package-global one. Calls are serialized by a mutex so
-// hooks need no locking of their own; with concurrent workers the done
-// values may arrive slightly out of order, but each value appears
-// exactly once and the final call carries done == total.
+// progressHook wraps Scale.Progress so calls are serialized by a
+// mutex and hooks need no locking of their own; with concurrent
+// workers the done values may arrive slightly out of order, but each
+// value appears exactly once and the final call carries done == total.
 func (s Scale) progressHook() func(done, total int) {
 	perCall := s.Progress
-	progressMu.Lock()
-	global := progressFn
-	progressMu.Unlock()
-	if perCall == nil && global == nil {
+	if perCall == nil {
 		return nil
 	}
 	var mu sync.Mutex
 	return func(done, total int) {
 		mu.Lock()
 		defer mu.Unlock()
-		if perCall != nil {
-			perCall(done, total)
-		}
-		reportProgress(done, total)
-	}
-}
-
-var (
-	progressMu sync.Mutex
-	progressFn func(done, total int)
-)
-
-// SetProgress installs a process-wide hook receiving (points completed,
-// total points) updates as an experiment's cells finish; nil uninstalls
-// it.
-//
-// Deprecated: the global hook interleaves updates when experiments run
-// concurrently (e.g. from different server jobs). Set Scale.Progress on
-// the scale passed to the run instead; SetProgress remains as a shim
-// for single-run tools and is combined with the per-call hook.
-func SetProgress(fn func(done, total int)) {
-	progressMu.Lock()
-	progressFn = fn
-	progressMu.Unlock()
-}
-
-func reportProgress(done, total int) {
-	progressMu.Lock()
-	defer progressMu.Unlock()
-	if progressFn != nil {
-		progressFn(done, total)
+		perCall(done, total)
 	}
 }

@@ -15,7 +15,7 @@ func TestForEachCoversAllIndices(t *testing.T) {
 		const n = 37
 		var mu sync.Mutex
 		counts := make([]int, n)
-		if err := forEach(context.Background(), workers, n, nil, func(i int) {
+		if err := forEach(context.Background(), workers, 0, n, nil, n, func(i int) {
 			mu.Lock()
 			counts[i]++
 			mu.Unlock()
@@ -30,31 +30,38 @@ func TestForEachCoversAllIndices(t *testing.T) {
 	}
 }
 
-func TestForEachProgressReachesTotal(t *testing.T) {
+// TestForEachProgressOffset pins the cached-sweep progress contract:
+// when the engine resolves part of a sweep from the point store it runs
+// forEach with done0 > 0, and every progress update must be offset
+// against the full total — so a consumer sees 5/15 .. 15/15, never a
+// restart from 0/10 over the simulated remainder alone.
+func TestForEachProgressOffset(t *testing.T) {
 	var mu sync.Mutex
 	var last, calls int
-	SetProgress(func(done, total int) {
+	progress := func(done, total int) {
 		mu.Lock()
 		defer mu.Unlock()
 		calls++
-		if total != 10 {
+		if total != 15 {
 			t.Errorf("total = %d", total)
+		}
+		if done <= 5 {
+			t.Errorf("done = %d, want > done0 (5)", done)
 		}
 		if done > last {
 			last = done
 		}
-	})
-	defer SetProgress(nil)
-	if err := (Scale{Workers: 4}).forEach(10, func(int) {}); err != nil {
+	}
+	if err := forEach(context.Background(), 4, 5, 15, progress, 10, func(int) {}); err != nil {
 		t.Fatalf("forEach: %v", err)
 	}
-	if calls != 10 || last != 10 {
+	if calls != 10 || last != 15 {
 		t.Errorf("progress calls = %d, max done = %d", calls, last)
 	}
 }
 
-// TestScaleProgressHookIsPerCall checks that Scale.Progress observes a
-// run's updates without touching the deprecated process-global hook.
+// TestScaleProgressHookIsPerCall checks that Scale.Progress observes
+// exactly its own run's updates.
 func TestScaleProgressHookIsPerCall(t *testing.T) {
 	var mu sync.Mutex
 	var calls, last int
@@ -83,7 +90,7 @@ func TestScaleProgressHookIsPerCall(t *testing.T) {
 func TestForEachCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var started atomic.Int64
-	err := forEach(ctx, 2, 1000, nil, func(i int) {
+	err := forEach(ctx, 2, 0, 1000, nil, 1000, func(i int) {
 		if started.Add(1) == 2 {
 			cancel()
 		}
@@ -107,7 +114,7 @@ func TestForEachCompletedSweepSurvivesLateCancel(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		const n = 8
 		var completed atomic.Int64
-		err := forEach(ctx, workers, n, nil, func(i int) {
+		err := forEach(ctx, workers, 0, n, nil, n, func(i int) {
 			if completed.Add(1) == n {
 				cancel() // the last point cancels before returning
 			}

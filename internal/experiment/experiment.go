@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"regreloc/internal/node"
+	"regreloc/internal/pointstore"
 	"regreloc/internal/rng"
 	"regreloc/internal/workload"
 )
@@ -37,10 +38,20 @@ type Scale struct {
 	// Progress, if non-nil, receives (points completed, total points)
 	// updates as the run's cells finish. Calls are serialized, so the
 	// hook needs no locking of its own; it runs inline on worker
-	// goroutines and should return quickly. Unlike the deprecated
-	// package-global SetProgress hook, Progress is scoped to the runs
-	// using this Scale, so concurrent experiments do not interleave.
+	// goroutines and should return quickly. Progress is scoped to the
+	// runs using this Scale, so concurrent experiments do not
+	// interleave. Cells resolved from the point store count as
+	// completed immediately, so a mostly-cached sweep starts near 100%.
 	Progress func(done, total int)
+	// PointStore, if non-nil, memoizes individual sweep points: cells
+	// already stored are decoded instead of simulated, cells being
+	// computed by a concurrent run are joined, and newly simulated
+	// cells are stored for the next overlapping sweep. Reports stay
+	// byte-identical to a store-less run; see execute. Fields that
+	// shape results (Threads, WorkRuns, MinWork) are part of each
+	// point's key, execution-only fields (Workers, Progress, context)
+	// are not.
+	PointStore *pointstore.Store
 
 	// ctx carries cancellation into the engine; set via WithContext.
 	// nil means context.Background().
@@ -191,6 +202,12 @@ type Experiment struct {
 	// experiments set it so services can compute exactly the cells a
 	// client asks for; Run is then the zero-override special case.
 	RunGrid func(seed uint64, scale Scale, g Grids) *Report
+	// PointKeys, when non-nil, returns the content address of every
+	// point the corresponding RunGrid call would simulate, in cell
+	// order, without running anything (see sweepKeys). Planners use it
+	// to partition a request into cached and to-compute points before
+	// committing resources.
+	PointKeys func(seed uint64, scale Scale, g Grids) []string
 }
 
 var registry = map[string]Experiment{}
@@ -239,8 +256,11 @@ type archSpec struct {
 // to the engine. Every cell simulates under its own RNG stream,
 // derived from the experiment seed and the cell's coordinates, so
 // cells are statistically independent (no replayed streams across the
-// grid) and execution order cannot affect the Report.
-func sweep(seed uint64, scale Scale, fs, rs, ls []int,
+// grid) and execution order cannot affect the Report. experimentID
+// scopes each cell's content address (pointKey) for memoization; the
+// keys are computed here, in one place, so sweepKeys can enumerate
+// them identically without building the points.
+func sweep(experimentID string, seed uint64, scale Scale, fs, rs, ls []int,
 	mkSpec func(r, l int, work int64) workload.Spec, archs []archSpec) ([]Measurement, error) {
 
 	var pts []point
@@ -252,6 +272,7 @@ func sweep(seed uint64, scale Scale, fs, rs, ls []int,
 				for ai, a := range archs {
 					pts = append(pts, point{
 						seed: rng.DeriveSeed(seed, uint64(f), uint64(r), uint64(l), uint64(ai)),
+						key:  pointKey(experimentID, seed, scale, f, r, l, a.name),
 						run: func(pointSeed uint64) []Measurement {
 							res := node.Run(a.cfg(f), spec, pointSeed)
 							return []Measurement{{
@@ -268,10 +289,11 @@ func sweep(seed uint64, scale Scale, fs, rs, ls []int,
 }
 
 // sweepInto runs sweep and records the result on the report, keeping
-// the partial points and the interruption error together.
+// the partial points and the interruption error together. The report's
+// ID scopes the point keys.
 func sweepInto(r *Report, seed uint64, scale Scale, fs, rs, ls []int,
 	mkSpec func(rl, l int, work int64) workload.Spec, archs []archSpec) {
-	r.Points, r.Err = sweep(seed, scale, fs, rs, ls, mkSpec, archs)
+	r.Points, r.Err = sweep(r.ID, seed, scale, fs, rs, ls, mkSpec, archs)
 }
 
 // Curves groups a panel's measurements into (arch, R) curves sorted by

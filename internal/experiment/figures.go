@@ -44,6 +44,7 @@ func lookupArch(switchCost int64, pol policy.Unload) archSpec {
 }
 
 func init() {
+	figure5Archs := []archSpec{fixedArch(6, policy.Never{}), flexArch(6, policy.Never{})}
 	register(Experiment{
 		ID:    "figure5",
 		Title: "Figure 5: Tolerating Cache Faults",
@@ -64,11 +65,13 @@ func init() {
 				func(rl, l int, work int64) workload.Spec {
 					return workload.CacheFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
 				},
-				[]archSpec{fixedArch(6, policy.Never{}), flexArch(6, policy.Never{})})
+				figure5Archs)
 			return r
 		},
+		PointKeys: sweepKeys("figure5", fileSizes, cacheRs, cacheLs, figure5Archs),
 	})
 
+	figure6Archs := []archSpec{fixedArch(8, policy.TwoPhase{}), flexArch(8, policy.TwoPhase{})}
 	register(Experiment{
 		ID:    "figure6",
 		Title: "Figure 6: Tolerating Synchronization Faults",
@@ -91,11 +94,17 @@ func init() {
 				func(rl, l int, work int64) workload.Spec {
 					return workload.SyncFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
 				},
-				[]archSpec{fixedArch(8, policy.TwoPhase{}), flexArch(8, policy.TwoPhase{})})
+				figure6Archs)
 			return r
 		},
+		PointKeys: sweepKeys("figure6", fileSizes, syncRs, syncLs, figure6Archs),
 	})
 
+	cheapAllocArchs := []archSpec{
+		fixedArch(8, policy.TwoPhase{}),
+		flexArch(8, policy.TwoPhase{}),
+		lookupArch(8, policy.TwoPhase{}),
+	}
 	register(Experiment{
 		ID:    "figure6a-cheap",
 		Title: "Section 3.3: Figure 6(a) rerun with cheap allocation",
@@ -118,13 +127,10 @@ func init() {
 				func(rl, l int, work int64) workload.Spec {
 					return workload.SyncFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
 				},
-				[]archSpec{
-					fixedArch(8, policy.TwoPhase{}),
-					flexArch(8, policy.TwoPhase{}),
-					lookupArch(8, policy.TwoPhase{}),
-				})
+				cheapAllocArchs)
 			return r
 		},
+		PointKeys: sweepKeys("figure6a-cheap", []int{64}, syncRs, syncLs, cheapAllocArchs),
 	})
 
 	registerHomogeneous := func(c int) {
@@ -151,9 +157,10 @@ func init() {
 					func(rl, l int, work int64) workload.Spec {
 						return workload.CacheFaults(rl, l, rng.Constant{Value: c}, scale.Threads, work)
 					},
-					[]archSpec{fixedArch(6, policy.Never{}), flexArch(6, policy.Never{})})
+					figure5Archs)
 				return r
 			},
+			PointKeys: sweepKeys(id, fileSizes, cacheRs, cacheLs, figure5Archs),
 		})
 	}
 	registerHomogeneous(8)
@@ -182,9 +189,10 @@ func init() {
 				func(rl, l int, work int64) workload.Spec {
 					return workload.CacheFaults(rl, l, bimodal, scale.Threads, work)
 				},
-				[]archSpec{fixedArch(6, policy.Never{}), flexArch(6, policy.Never{})})
+				figure5Archs)
 			return r
 		},
+		PointKeys: sweepKeys("mixed-granularity", fileSizes, cacheRs, cacheLs, figure5Archs),
 	})
 
 	register(Experiment{
@@ -207,9 +215,10 @@ func init() {
 				func(rl, l int, work int64) workload.Spec {
 					return workload.Combined(32, 64, rl, l, workload.PaperCtxSize(), scale.Threads, work)
 				},
-				[]archSpec{fixedArch(8, policy.TwoPhase{}), flexArch(8, policy.TwoPhase{})})
+				figure6Archs)
 			return r
 		},
+		PointKeys: sweepKeys("combined", fileSizes, syncRs, syncLs, figure6Archs),
 	})
 
 	register(Experiment{

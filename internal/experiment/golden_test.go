@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"regreloc/internal/experiment"
+	"regreloc/internal/pointstore"
 )
 
 // TestFigure5QuickGolden pins the figure5 quick-scale report to the
@@ -40,5 +41,77 @@ func TestFigure5QuickGolden(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatalf("figure5 quick seed=1 report is not byte-identical to the golden file (got %d bytes, want %d); simulation results drifted",
 			len(got), len(want))
+	}
+}
+
+// TestFigure5GoldenFromPointCache extends the golden contract to the
+// memoized path: a report assembled from point-store entries — encoded,
+// stored, evicted to disk, reloaded, and decoded — must be
+// byte-identical to the cold run above, at any worker count. This is
+// what makes point-granular caching sound: if assembly-from-cache could
+// drift even one byte, a cache hit would be a wrong answer.
+func TestFigure5GoldenFromPointCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick sweeps are a few seconds; skipped in -short")
+	}
+	want, err := os.ReadFile("testdata/figure5_quick_seed1.golden.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := experiment.Get("figure5")
+	if !ok {
+		t.Fatal("figure5 experiment not registered")
+	}
+
+	// Cold run with an empty store: must simulate everything, produce
+	// golden bytes, and populate the store.
+	dir := t.TempDir()
+	store, err := pointstore.New(8<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := experiment.Quick
+	cold.PointStore = store
+	r := e.Run(1, cold)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if got := []byte(experiment.CSV(r)); !bytes.Equal(got, want) {
+		t.Fatalf("cold run through the point store drifted from golden (got %d bytes, want %d)",
+			len(got), len(want))
+	}
+	if c := store.Counters(); c.Misses != int64(len(r.Points)) || c.Hits != 0 {
+		t.Fatalf("cold run counters = %+v, want %d misses, 0 hits", c, len(r.Points))
+	}
+
+	// Persist and reload so warm assembly also crosses the disk tier's
+	// checksum-verified entries, not just memory.
+	if err := store.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm runs at different worker counts: every point resolves from
+	// the store (zero new simulations) and the assembled report is
+	// still byte-identical — order-independent by construction.
+	for _, workers := range []int{1, 8} {
+		warmStore, err := pointstore.New(8<<20, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm := experiment.Quick
+		warm.Workers = workers
+		warm.PointStore = warmStore
+		r := e.Run(1, warm)
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if got := []byte(experiment.CSV(r)); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: cache-assembled report drifted from golden (got %d bytes, want %d)",
+				workers, len(got), len(want))
+		}
+		if c := warmStore.Counters(); c.Misses != 0 || c.Hits != int64(len(r.Points)) {
+			t.Fatalf("workers=%d: warm run counters = %+v, want all %d points served as hits",
+				workers, c, len(r.Points))
+		}
 	}
 }

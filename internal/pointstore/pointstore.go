@@ -1,0 +1,395 @@
+// Package pointstore is a content-addressed store for individual
+// sweep-point results. Where internal/serve's result cache memoizes
+// whole reports — so two jobs whose grids overlap by 90% still
+// re-simulate 100% of their points — this store memoizes at the
+// granularity the engine actually schedules: one entry per simulated
+// point, keyed by a SHA-256 over everything that determines the
+// point's bytes (engine version, experiment, seed, coordinates).
+//
+// The store mirrors the serving cache's tiering conventions: hot
+// entries live in memory under an LRU byte budget, evicted entries
+// spill to a disk tier whose index carries a per-entry checksum and a
+// format version, and a persisted index lets a restarted process
+// resume warm. On top of that it adds cross-job single-flight
+// coalescing (Do): concurrent computations of the same key share one
+// execution, so two jobs sweeping overlapping grids simulate each
+// shared point exactly once between them.
+//
+// Soundness has the same basis as the report cache: a point's bytes
+// are a pure function of the key's preimage (the engine derives every
+// point's RNG stream from its coordinates, never from execution
+// order), and keys embed the engine version, so entries written by an
+// older binary simply stop matching instead of being served stale.
+// Within a matching key, a disk checksum mismatch can only be
+// corruption, and the entry is dropped and recomputed.
+package pointstore
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+)
+
+// Store is the content-addressed per-point byte store. All methods
+// are safe for concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	budget int64
+	size   int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	dir    string
+	disk   map[string]diskEntry
+
+	// inflight tracks keys being computed right now; later Do calls
+	// for the same key wait for the leader instead of recomputing.
+	inflight map[string]*flight
+
+	c Counters
+}
+
+// Counters are the store's monotonic event counts, exposed for the
+// metrics endpoint and for tests pinning coalescing behaviour.
+type Counters struct {
+	// Hits are lookups answered from memory or verified disk.
+	Hits int64
+	// Misses are lookups (or Do calls) that had to compute.
+	Misses int64
+	// Joins are Do calls that attached to an in-flight computation of
+	// the same key instead of starting their own.
+	Joins int64
+	// Evictions counts entries pushed out of the memory tier by the
+	// byte budget.
+	Evictions int64
+	// SpillBytes is the total payload bytes written to the disk tier.
+	SpillBytes int64
+	// VerifyFails counts disk entries dropped because their payload
+	// no longer matched the indexed checksum.
+	VerifyFails int64
+}
+
+type entry struct {
+	key  string
+	data []byte
+}
+
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// diskEntry is one spilled result in the persisted index.
+type diskEntry struct {
+	Size int64  `json:"size"`
+	Sum  string `json:"sum"` // hex SHA-256 of the payload bytes
+}
+
+// storeIndex is the on-disk index format (dir/points.json).
+type storeIndex struct {
+	Version int                  `json:"version"`
+	Entries map[string]diskEntry `json:"entries"`
+}
+
+// indexVersion gates index loading: an index written under a
+// different format is discarded wholesale (the store starts cold)
+// instead of being reinterpreted.
+const indexVersion = 1
+
+// indexName keeps the point index distinct from a report cache
+// sharing the same directory.
+const indexName = "points.json"
+
+// New returns a store with the given in-memory byte budget (<= 0
+// disables the memory tier) and optional spill directory. An existing
+// index in the directory is loaded so a restarted process resumes
+// with its disk tier warm.
+func New(budget int64, dir string) (*Store, error) {
+	s := &Store{
+		budget:   budget,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		dir:      dir,
+		disk:     make(map[string]diskEntry),
+		inflight: make(map[string]*flight),
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pointstore: dir: %w", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, indexName))
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pointstore: index: %w", err)
+	}
+	var idx storeIndex
+	if err := json.Unmarshal(raw, &idx); err != nil || idx.Version != indexVersion {
+		// A corrupt or old-format index is not fatal: start cold rather
+		// than refuse to serve (or misread another format's entries).
+		return s, nil
+	}
+	for k, e := range idx.Entries {
+		s.disk[k] = e
+	}
+	return s, nil
+}
+
+// Get returns the bytes stored for key. Memory hits refresh LRU
+// recency; disk hits are verified against the indexed checksum,
+// promoted into memory, and kept on disk.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.getLocked(key)
+	if ok {
+		s.c.Hits++
+	} else {
+		s.c.Misses++
+	}
+	return data, ok
+}
+
+// Contains reports whether key is resident in memory or on disk,
+// without touching LRU recency or the hit/miss counters. Planners use
+// it to count a request's point-store coverage before queueing.
+func (s *Store) Contains(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.items[key]; ok {
+		return true
+	}
+	_, ok := s.disk[key]
+	return ok
+}
+
+// Covered returns how many of the given keys Contains reports.
+func (s *Store) Covered(keys []string) int {
+	n := 0
+	for _, k := range keys {
+		if s.Contains(k) {
+			n++
+		}
+	}
+	return n
+}
+
+// Do returns the bytes for key, computing them at most once across
+// all concurrent callers: a stored entry is returned directly, a call
+// arriving while another caller computes the same key waits for and
+// shares that result (a "join"), and otherwise compute runs and its
+// result is stored. The error, if any, comes from compute and is
+// shared with joiners; failed computations are not stored.
+//
+// Do does not take a context: point computations are short (one
+// simulation cell) and a joiner's result is already being paid for by
+// the leader, so waiting it out is both cheap and useful.
+func (s *Store) Do(key string, compute func() ([]byte, error)) ([]byte, error) {
+	s.mu.Lock()
+	if data, ok := s.getLocked(key); ok {
+		s.c.Hits++
+		s.mu.Unlock()
+		return data, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.c.Joins++
+		s.mu.Unlock()
+		<-f.done
+		return f.data, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.c.Misses++
+	s.mu.Unlock()
+
+	completed := false
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if completed && f.err == nil {
+			s.putLocked(key, f.data)
+		}
+		s.mu.Unlock()
+		if !completed {
+			// compute panicked: fail the joiners instead of deadlocking
+			// them, then let the panic propagate.
+			f.err = fmt.Errorf("pointstore: compute for %s panicked", key)
+		}
+		close(f.done)
+	}()
+	f.data, f.err = compute()
+	completed = true
+	return f.data, f.err
+}
+
+// Put stores data under key (outside any single-flight accounting).
+func (s *Store) Put(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putLocked(key, data)
+}
+
+// getLocked is the tiered lookup. Caller holds s.mu.
+func (s *Store) getLocked(key string) ([]byte, bool) {
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		return el.Value.(*entry).data, true
+	}
+	if de, ok := s.disk[key]; ok {
+		data, err := os.ReadFile(s.path(key))
+		if err == nil && checksum(data) == de.Sum {
+			if s.budget > 0 && int64(len(data)) <= s.budget {
+				s.insertLocked(key, data)
+			}
+			return data, true
+		}
+		// Missing or corrupt payload: drop the index entry so callers
+		// recompute instead of receiving bad bytes.
+		s.c.VerifyFails++
+		delete(s.disk, key)
+		os.Remove(s.path(key))
+	}
+	return nil, false
+}
+
+// putLocked stores an entry, evicting least-recently-used entries
+// past the byte budget (spilling them to disk when a directory is
+// configured). Oversized single entries bypass memory and go straight
+// to disk.
+func (s *Store) putLocked(key string, data []byte) {
+	if _, ok := s.items[key]; ok {
+		return // determinism: same key means same bytes
+	}
+	if s.budget > 0 && int64(len(data)) <= s.budget {
+		s.insertLocked(key, data)
+		return
+	}
+	s.spillLocked(key, data)
+}
+
+// insertLocked adds an entry to memory and evicts over budget.
+func (s *Store) insertLocked(key string, data []byte) {
+	s.items[key] = s.ll.PushFront(&entry{key: key, data: data})
+	s.size += int64(len(data))
+	for s.size > s.budget && s.ll.Len() > 1 {
+		el := s.ll.Back()
+		ent := el.Value.(*entry)
+		s.ll.Remove(el)
+		delete(s.items, ent.key)
+		s.size -= int64(len(ent.data))
+		s.c.Evictions++
+		s.spillLocked(ent.key, ent.data)
+	}
+}
+
+// spillLocked writes an entry to the disk tier (a no-op without a
+// directory, or when the bytes are already there).
+func (s *Store) spillLocked(key string, data []byte) {
+	if s.dir == "" {
+		return
+	}
+	if _, ok := s.disk[key]; ok {
+		return
+	}
+	if err := os.WriteFile(s.path(key), data, 0o644); err != nil {
+		return
+	}
+	s.disk[key] = diskEntry{Size: int64(len(data)), Sum: checksum(data)}
+	s.c.SpillBytes += int64(len(data))
+}
+
+// SaveIndex persists the disk-tier index; long-running processes call
+// it during graceful shutdown so a restart resumes warm. Entries
+// still only in memory are spilled first so the whole working set is
+// persisted, not just the evicted part.
+func (s *Store) SaveIndex() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*entry)
+		s.spillLocked(ent.key, ent.data)
+	}
+	idx := storeIndex{Version: indexVersion, Entries: s.disk}
+	raw, err := json.MarshalIndent(idx, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, indexName+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, indexName))
+}
+
+// Len returns the number of in-memory entries; DiskLen the number of
+// spilled ones; Bytes the in-memory payload size.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+func (s *Store) DiskLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.disk)
+}
+
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Counters returns a snapshot of the store's event counts.
+func (s *Store) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".bin")
+}
+
+func checksum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// EngineVersion identifies the code that computes result bytes: the
+// module version plus the VCS revision stamped into the build, if
+// any. Both the per-point keys and the serving layer's report-cache
+// keys fold it in, so a persisted cache is invalidated by upgrading
+// the binary — an old entry simply stops matching — rather than
+// served as current. Development builds without VCS stamping fall
+// back to the key-schema constants alone.
+var EngineVersion = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			v += "+" + s.Value
+			break
+		}
+	}
+	if v == "" {
+		v = "unknown"
+	}
+	return v
+})

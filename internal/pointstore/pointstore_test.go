@@ -1,0 +1,208 @@
+package pointstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	s, err := New(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	s.Put("k", []byte("value"))
+	data, ok := s.Get("k")
+	if !ok || string(data) != "value" {
+		t.Fatalf("Get = %q, %v", data, ok)
+	}
+	c := s.Counters()
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("counters = %+v, want 1 hit / 1 miss", c)
+	}
+	if !s.Contains("k") || s.Contains("other") {
+		t.Error("Contains disagrees with contents")
+	}
+}
+
+// TestDoCoalescesConcurrentComputes pins the cross-job guarantee:
+// many concurrent Do calls for one key run compute exactly once, the
+// rest join the in-flight execution and share its bytes. Run under
+// -race via make test-race.
+func TestDoCoalescesConcurrentComputes(t *testing.T) {
+	s, err := New(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int64
+	release := make(chan struct{})
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		data, err := s.Do("k", func() ([]byte, error) {
+			computes.Add(1)
+			<-release // hold the flight open until the joiners arrive
+			return []byte("shared"), nil
+		})
+		if err != nil || string(data) != "shared" {
+			t.Errorf("leader Do = %q, %v", data, err)
+		}
+	}()
+
+	// Wait for the leader to be inside compute (flight registered and
+	// held open) before launching the joiners, so none of them can win
+	// the leadership instead.
+	for computes.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	const joiners = 8
+	var wg sync.WaitGroup
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, err := s.Do("k", func() ([]byte, error) {
+				computes.Add(1)
+				return []byte("shared"), nil
+			})
+			if err != nil || string(data) != "shared" {
+				t.Errorf("joiner Do = %q, %v", data, err)
+			}
+		}()
+	}
+
+	// Wait until every joiner has attached to the flight, then let the
+	// leader finish.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Counters().Joins < joiners {
+		if time.Now().After(deadline) {
+			t.Fatalf("joins = %d after 10s, want %d", s.Counters().Joins, joiners)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-leaderDone
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1", n)
+	}
+	c := s.Counters()
+	if c.Misses != 1 || c.Joins != joiners {
+		t.Errorf("counters = %+v, want 1 miss / %d joins", c, joiners)
+	}
+	// After the flight completes the entry is stored: later Do calls
+	// hit without computing.
+	if _, err := s.Do("k", func() ([]byte, error) {
+		computes.Add(1)
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("post-flight Do recomputed (%d computes)", n)
+	}
+}
+
+func TestDoErrorNotStored(t *testing.T) {
+	s, _ := New(1<<20, "")
+	wantErr := fmt.Errorf("boom")
+	if _, err := s.Do("k", func() ([]byte, error) { return nil, wantErr }); err != wantErr {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Contains("k") {
+		t.Fatal("failed computation was stored")
+	}
+	var ran bool
+	if _, err := s.Do("k", func() ([]byte, error) { ran = true; return []byte("ok"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("retry after error did not recompute")
+	}
+}
+
+func TestEvictionSpillsToDiskAndReloads(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(64, dir) // tiny budget: forces eviction
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 48) }
+	s.Put("a", payload(1))
+	s.Put("b", payload(2)) // evicts a to disk
+	if c := s.Counters(); c.Evictions == 0 || c.SpillBytes == 0 {
+		t.Fatalf("eviction not accounted: %+v", c)
+	}
+	if data, ok := s.Get("a"); !ok || !bytes.Equal(data, payload(1)) {
+		t.Fatal("evicted entry not readable from disk")
+	}
+
+	// Persist and reload: the disk tier survives a restart.
+	if err := s.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(64, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b"} {
+		if data, ok := s2.Get(k); !ok || len(data) != 48 {
+			t.Fatalf("reloaded store missing %q", k)
+		}
+	}
+}
+
+func TestCorruptDiskEntryDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := New(0, dir) // no memory tier: everything on disk
+	s.Put("k", []byte("payload"))
+	if err := os.WriteFile(filepath.Join(dir, "k.bin"), []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if c := s.Counters(); c.VerifyFails != 1 {
+		t.Errorf("verify failures = %d, want 1", c.VerifyFails)
+	}
+	if s.Contains("k") {
+		t.Error("corrupt entry still indexed")
+	}
+}
+
+func TestBadIndexStartsCold(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, indexName), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(1<<20, dir)
+	if err != nil {
+		t.Fatalf("corrupt index should not be fatal: %v", err)
+	}
+	if s.DiskLen() != 0 {
+		t.Fatal("corrupt index was loaded")
+	}
+}
+
+func TestOversizedEntryBypassesMemory(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := New(16, dir)
+	s.Put("big", bytes.Repeat([]byte{7}, 128))
+	if s.Len() != 0 || s.DiskLen() != 1 {
+		t.Fatalf("mem=%d disk=%d, want 0/1", s.Len(), s.DiskLen())
+	}
+	if data, ok := s.Get("big"); !ok || len(data) != 128 {
+		t.Fatal("oversized entry unreadable")
+	}
+}

@@ -13,11 +13,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"runtime/debug"
 	"sync"
 	"time"
 
 	"regreloc/internal/experiment"
+	"regreloc/internal/pointstore"
 )
 
 // Request is the wire format of a job submission: which experiment to
@@ -109,41 +109,18 @@ func (q Request) validate() error {
 // the process, and a stale key must never match a new request.
 const cacheSchema = "regreloc-job-v2"
 
-// engineVersion identifies the code that computes the result bytes:
-// the module version plus the VCS revision stamped into the build, if
-// any. It is folded into every cache key so a persisted disk cache is
-// invalidated by upgrading the binary — an old result simply stops
-// matching — rather than served as current. Development builds without
-// VCS stamping fall back to the cacheSchema bump alone.
-var engineVersion = sync.OnceValue(func() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "unknown"
-	}
-	v := bi.Main.Version
-	for _, s := range bi.Settings {
-		if s.Key == "vcs.revision" {
-			v += "+" + s.Value
-			break
-		}
-	}
-	if v == "" {
-		v = "unknown"
-	}
-	return v
-})
-
 // Key returns the request's content address: a SHA-256 over the
 // canonical form of every field that influences the result bytes,
-// prefixed by the engine version so results computed by a different
-// binary never collide. Server-side tunables (worker counts, timeouts)
-// are deliberately excluded — the engine guarantees they cannot change
-// the output.
+// prefixed by the engine version (pointstore.EngineVersion, shared with
+// the per-point keys) so results computed by a different binary never
+// collide. Server-side tunables (worker counts, timeouts) are
+// deliberately excluded — the engine guarantees they cannot change the
+// output.
 func (q Request) Key() string {
 	q = q.normalize()
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\nengine=%s\nexperiment=%s\nseed=%d\nscale=%s\nf=%v\nr=%v\nl=%v\n",
-		cacheSchema, engineVersion(), q.Experiment, q.Seed, q.Scale, q.F, q.R, q.L)
+		cacheSchema, pointstore.EngineVersion(), q.Experiment, q.Seed, q.Scale, q.F, q.R, q.L)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -172,6 +149,12 @@ type Job struct {
 	Key     string
 	Req     Request
 	Created time.Time
+	// planPoints/planCached are the submission-time point-store plan:
+	// how many sweep points the request addresses and how many were
+	// already stored. Zero planPoints means the experiment has no
+	// point-key planner (or the store is disabled).
+	planPoints int
+	planCached int
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -196,6 +179,15 @@ type Progress struct {
 	Total int `json:"total"`
 }
 
+// Plan is the submission-time point-store coverage of a job: of the
+// Points sweep cells the request addresses, Cached were already in the
+// point store when the job was admitted (so only the difference needs
+// simulating).
+type Plan struct {
+	Points int `json:"points"`
+	Cached int `json:"cached"`
+}
+
 // Status is the JSON view of a job returned by the API. Result is the
 // canonical report JSON and is only present on done jobs.
 type Status struct {
@@ -209,6 +201,7 @@ type Status struct {
 	Coalesced  int             `json:"coalesced"`
 	Error      string          `json:"error,omitempty"`
 	Progress   *Progress       `json:"progress,omitempty"`
+	Plan       *Plan           `json:"plan,omitempty"`
 	CreatedAt  time.Time       `json:"created_at"`
 	ElapsedMS  int64           `json:"elapsed_ms,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
@@ -305,6 +298,9 @@ func (j *Job) Status(withResult bool) Status {
 	}
 	if j.progTotal > 0 {
 		st.Progress = &Progress{Done: j.progDone, Total: j.progTotal}
+	}
+	if j.planPoints > 0 {
+		st.Plan = &Plan{Points: j.planPoints, Cached: j.planCached}
 	}
 	if !j.started.IsZero() {
 		end := j.finished

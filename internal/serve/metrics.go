@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"regreloc/internal/pointstore"
 	"regreloc/internal/stats"
 )
 
@@ -30,6 +31,9 @@ type metrics struct {
 	engineRuns  int64 // sweeps actually executed (not cached/coalesced)
 	sweepPoints int64 // completed simulation cells across all jobs
 
+	planPoints int64 // sweep points addressed by admitted jobs' plans
+	planCached int64 // of those, already in the point store at admission
+
 	latency map[string]*stats.Histogram // per-experiment job seconds
 }
 
@@ -51,6 +55,15 @@ func (m *metrics) addPoints(n int64) {
 }
 
 func (m *metrics) jobStarted() { m.mu.Lock(); m.running++; m.mu.Unlock() }
+
+// addPlan records one admitted job's point-store plan: planned points
+// addressed and how many the store already covered.
+func (m *metrics) addPlan(planned, covered int64) {
+	m.mu.Lock()
+	m.planPoints += planned
+	m.planCached += covered
+	m.mu.Unlock()
+}
 
 // jobFinished records a terminal transition; seconds < 0 skips the
 // latency histogram (cache hits and never-started cancellations).
@@ -100,6 +113,14 @@ type gauges struct {
 	misses      int64
 	spills      int64
 	verifyFails int64
+
+	// Point-store snapshot; pointStore is false when memoization is
+	// disabled (the rrserve_pointstore_* series are then omitted).
+	pointStore   bool
+	points       pointstore.Counters
+	pointEntries int
+	pointDisk    int
+	pointBytes   int64
 }
 
 // writeProm renders the Prometheus text exposition format.
@@ -136,6 +157,21 @@ func (m *metrics) writeProm(w io.Writer, g gauges) {
 
 	counter("rrserve_engine_runs_total", "Underlying experiment-engine sweeps executed.", m.engineRuns)
 	counter("rrserve_sweep_points_total", "Simulation cells completed across all jobs.", m.sweepPoints)
+
+	counter("rrserve_plan_points_total", "Sweep points addressed by admitted jobs' point-store plans.", m.planPoints)
+	counter("rrserve_plan_cached_points_total", "Planned points already covered by the point store at admission.", m.planCached)
+
+	if g.pointStore {
+		counter("rrserve_pointstore_hits_total", "Point-store lookups answered from memory or verified disk.", g.points.Hits)
+		counter("rrserve_pointstore_misses_total", "Point-store lookups that had to simulate.", g.points.Misses)
+		counter("rrserve_pointstore_coalesced_total", "Point computations joined onto an identical in-flight simulation.", g.points.Joins)
+		counter("rrserve_pointstore_evictions_total", "Point entries evicted from the memory tier by the byte budget.", g.points.Evictions)
+		counter("rrserve_pointstore_spill_bytes_total", "Point payload bytes written to the disk tier.", g.points.SpillBytes)
+		counter("rrserve_pointstore_verify_failures_total", "Point disk entries rejected by checksum verification.", g.points.VerifyFails)
+		gauge("rrserve_pointstore_entries", "In-memory point-store entries.", int64(g.pointEntries))
+		gauge("rrserve_pointstore_disk_entries", "Disk-tier point-store entries.", int64(g.pointDisk))
+		gauge("rrserve_pointstore_bytes", "In-memory point-store payload bytes.", g.pointBytes)
+	}
 
 	// Per-experiment job-duration histograms, Prometheus-style:
 	// cumulative buckets plus _sum and _count.

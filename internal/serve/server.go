@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"regreloc/internal/experiment"
+	"regreloc/internal/pointstore"
 )
 
 // Config tunes a Server. The zero value gets sensible defaults from
@@ -37,6 +38,16 @@ type Config struct {
 	// CacheDir, when non-empty, holds the disk spill tier and its
 	// persisted index.
 	CacheDir string
+	// PointCacheBytes is the in-memory budget of the point-granular
+	// result store (default 32 MiB; negative disables point-level
+	// memoization entirely). Where the report cache above answers only
+	// exact request repeats, the point store lets overlapping grids
+	// share their common cells.
+	PointCacheBytes int64
+	// PointCacheDir, when non-empty, holds the point store's disk
+	// spill tier and persisted index. Keep it distinct from CacheDir
+	// only by preference; the index file names do not collide.
+	PointCacheDir string
 	// JobRetention is how long a terminal job (and its result bytes)
 	// stays queryable by ID after finishing (default 15 minutes). The
 	// content-addressed cache keeps the result itself far longer; only
@@ -66,6 +77,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 64 << 20
 	}
+	if c.PointCacheBytes == 0 {
+		c.PointCacheBytes = 32 << 20
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
@@ -86,11 +100,12 @@ func (c Config) withDefaults() Config {
 // table coalescing identical submissions, and the content-addressed
 // result cache. Wrap Handler in an http.Server to expose it.
 type Server struct {
-	cfg   Config
-	log   *log.Logger
-	cache *Cache
-	met   *metrics
-	mux   *http.ServeMux
+	cfg    Config
+	log    *log.Logger
+	cache  *Cache
+	points *pointstore.Store // nil when point memoization is disabled
+	met    *metrics
+	mux    *http.ServeMux
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -120,11 +135,19 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var points *pointstore.Store
+	if cfg.PointCacheBytes > 0 {
+		points, err = pointstore.New(cfg.PointCacheBytes, cfg.PointCacheDir)
+		if err != nil {
+			return nil, err
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		log:        cfg.Logger,
 		cache:      cache,
+		points:     points,
 		met:        newMetrics(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -186,14 +209,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if err := s.cache.SaveIndex(); err != nil {
 		return fmt.Errorf("serve: persisting cache index: %w", err)
 	}
+	if s.points != nil {
+		if err := s.points.SaveIndex(); err != nil {
+			return fmt.Errorf("serve: persisting point-store index: %w", err)
+		}
+	}
 	return nil
 }
 
 // Submit validates and enqueues a request, returning the job (which
 // may be an existing in-flight job the submission coalesced onto, or
 // an already-done cached job) plus the HTTP status describing what
-// happened: 201 (new job queued), 200 (coalesced or cache hit), 429
-// (queue full), 503 (draining), 400 (invalid).
+// happened: 201 (new job queued), 200 (coalesced, cache hit, or
+// assembled entirely from the point store), 429 (queue full), 503
+// (draining), 400 (invalid).
 func (s *Server) Submit(req Request) (*Job, int, error) {
 	if err := req.validate(); err != nil {
 		return nil, http.StatusBadRequest, err
@@ -201,10 +230,38 @@ func (s *Server) Submit(req Request) (*Job, int, error) {
 	req = req.normalize()
 	key := req.Key()
 
+	// Plan the request against the point store before taking the
+	// server lock: computing a large grid's keys is pure hashing, and
+	// coverage only needs the store's own lock.
+	var planned, covered int
+	if s.points != nil {
+		if e, ok := experiment.Get(req.Experiment); ok && e.PointKeys != nil {
+			keys := e.PointKeys(req.Seed, req.scale(), req.grids())
+			planned = len(keys)
+			covered = s.points.Covered(keys)
+		}
+	}
+
+	j, status, inline, err := s.admit(req, key, planned, covered)
+	if !inline {
+		return j, status, err
+	}
+	// Fully covered: every cell decodes from the point store, so the
+	// "sweep" is cheap assembly. Run it on the submitter's goroutine
+	// instead of burning queue capacity and a worker slot — the client
+	// gets a done job back, same as a whole-report cache hit.
+	s.runOne(j)
+	return j, http.StatusOK, nil
+}
+
+// admit is Submit's locked section. It returns inline=true when the
+// job was admitted for synchronous point-store assembly (registered
+// in-flight but not queued); the caller must then run it.
+func (s *Server) admit(req Request, key string, planned, covered int) (j *Job, status int, inline bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return nil, http.StatusServiceUnavailable, errors.New("server is draining")
+		return nil, http.StatusServiceUnavailable, false, errors.New("server is draining")
 	}
 	s.pruneJobsLocked()
 
@@ -214,13 +271,13 @@ func (s *Server) Submit(req Request) (*Job, int, error) {
 		j.coalesced++
 		j.mu.Unlock()
 		s.met.incCoalesced()
-		return j, http.StatusOK, nil
+		return j, http.StatusOK, false, nil
 	}
 
 	// Content-addressed cache: the result already exists; materialize
 	// a terminal job so the client gets the uniform job interface.
 	if data, ok := s.cache.Get(key); ok {
-		j := s.newJobLocked(key, req)
+		j := s.newJobLocked(key, req, planned, covered)
 		j.cached = true
 		j.state = StateDone
 		j.result = data
@@ -229,11 +286,22 @@ func (s *Server) Submit(req Request) (*Job, int, error) {
 		j.cancel() // born terminal: release its context registration now
 		s.met.incSubmitted()
 		s.met.jobFinished(req.Experiment, StateDone, -1, false)
-		return j, http.StatusOK, nil
+		return j, http.StatusOK, false, nil
+	}
+	s.met.addPlan(int64(planned), int64(covered))
+
+	// Point-store fast path: the report cache missed (different grid
+	// shape, or evicted) but every point the request addresses is
+	// already stored. Hand the job back for inline assembly.
+	if planned > 0 && covered == planned {
+		j := s.newJobLocked(key, req, planned, covered)
+		s.inflight[key] = j
+		s.met.incSubmitted()
+		return j, http.StatusOK, true, nil
 	}
 
 	// Bounded queue with backpressure.
-	j := s.newJobLocked(key, req)
+	j = s.newJobLocked(key, req, planned, covered)
 	select {
 	case s.queue <- j:
 	default:
@@ -241,26 +309,28 @@ func (s *Server) Submit(req Request) (*Job, int, error) {
 		s.order = s.order[:len(s.order)-1]
 		j.cancel() // never ran: release its context registration
 		s.met.incRejected()
-		return nil, http.StatusTooManyRequests, errors.New("job queue is full")
+		return nil, http.StatusTooManyRequests, false, errors.New("job queue is full")
 	}
 	s.inflight[key] = j
 	s.met.incSubmitted()
-	return j, http.StatusCreated, nil
+	return j, http.StatusCreated, false, nil
 }
 
 // newJobLocked allocates and registers a job. Caller holds s.mu.
-func (s *Server) newJobLocked(key string, req Request) *Job {
+func (s *Server) newJobLocked(key string, req Request, planned, covered int) *Job {
 	s.nextID++
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &Job{
-		ID:      fmt.Sprintf("j%06d", s.nextID),
-		Key:     key,
-		Req:     req,
-		Created: time.Now(),
-		ctx:     ctx,
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		state:   StateQueued,
+		ID:         fmt.Sprintf("j%06d", s.nextID),
+		Key:        key,
+		Req:        req,
+		Created:    time.Now(),
+		planPoints: planned,
+		planCached: covered,
+		ctx:        ctx,
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		state:      StateQueued,
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
@@ -395,6 +465,7 @@ func (s *Server) runExperiment(ctx context.Context, j *Job) ([]byte, int, error)
 	sc := j.Req.scale()
 	sc.Workers = s.cfg.PointWorkers
 	sc.Progress = func(done, total int) { j.setProgress(done, total) }
+	sc.PointStore = s.points
 	sc = sc.WithContext(ctx)
 
 	var rep *experiment.Report
@@ -415,6 +486,16 @@ func (s *Server) runExperiment(ctx context.Context, j *Job) ([]byte, int, error)
 
 // QueueDepth returns the number of queued (not yet running) jobs.
 func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// PointCounters returns the point store's event counters (zero values
+// when point memoization is disabled), for metrics and benchmarks that
+// need to know how much simulation a request actually cost.
+func (s *Server) PointCounters() pointstore.Counters {
+	if s.points == nil {
+		return pointstore.Counters{}
+	}
+	return s.points.Counters()
+}
 
 // retryAfterSeconds estimates how long a rejected client should wait:
 // the queue needs to drain one slot, which takes about one mean job
@@ -584,6 +665,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		misses:      misses,
 		spills:      spills,
 		verifyFails: verifyFails,
+	}
+	if s.points != nil {
+		g.pointStore = true
+		g.points = s.points.Counters()
+		g.pointEntries = s.points.Len()
+		g.pointDisk = s.points.DiskLen()
+		g.pointBytes = s.points.Bytes()
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b strings.Builder

@@ -1,9 +1,13 @@
 #!/bin/sh
 # bench_json.sh — run the key benchmarks and append one JSON snapshot
-# to the benchmark-trajectory file (BENCH_PR4.json by default).
+# to the benchmark-trajectory file named on the command line.
 #
 # Usage:
-#   scripts/bench_json.sh <label> [outfile]
+#   scripts/bench_json.sh <label> <outfile>
+#
+# BENCHES (environment) overrides the benchmark selection regex, e.g.
+# to record a single benchmark under two configurations:
+#   BENCHES='BenchmarkServeGridOverlap/cold' scripts/bench_json.sh pr5-baseline BENCH_PR5.json
 #
 # The outfile is a JSON array of snapshots, one per invocation:
 #
@@ -24,9 +28,9 @@
 # docs/performance.md for the conventions.
 set -eu
 
-LABEL=${1:?"usage: scripts/bench_json.sh <label> [outfile]"}
-OUT=${2:-BENCH_PR4.json}
-BENCHES='BenchmarkNodeSimulation$|BenchmarkSweepParallel$|BenchmarkMachineExecution$|BenchmarkFigure5/F128'
+LABEL=${1:?"usage: scripts/bench_json.sh <label> <outfile>"}
+OUT=${2:?"usage: scripts/bench_json.sh <label> <outfile>"}
+BENCHES=${BENCHES:-'BenchmarkNodeSimulation$|BenchmarkSweepParallel$|BenchmarkMachineExecution$|BenchmarkFigure5/F128|BenchmarkServeGridOverlap'}
 
 RAW=$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime 2s -count 1 .)
 
