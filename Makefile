@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint-asm bench bench-json bench-smoke examples figures data serve-smoke clean
+.PHONY: all build test test-race vet lint-asm bench bench-json bench-smoke examples figures data serve-smoke load-smoke clean
 
 all: test
 
@@ -27,6 +27,11 @@ test-race:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# Short load burst with rrload against a booted rrserved: overlapping
+# grids, two tenants, admission control on, JSON snapshot checked.
+load-smoke:
+	./scripts/load_smoke.sh
+
 # Static-analyze every assembly routine the repo ships: the kernel
 # runtime (Figure 3 switch, load/unload), the context allocators, the
 # Multi-RRM manager stubs, and the example programs.
@@ -44,7 +49,7 @@ bench:
 # trajectory file (see docs/performance.md for the format and the
 # comparison workflow). Override either: make bench-json LABEL=tuned
 LABEL ?= snapshot
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 bench-json:
 	./scripts/bench_json.sh $(LABEL) $(BENCH_OUT)
 

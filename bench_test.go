@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -152,6 +153,72 @@ func benchServeOverlap(b *testing.B, warmFirst bool) {
 func BenchmarkServeGridOverlap(b *testing.B) {
 	b.Run("cold", func(b *testing.B) { benchServeOverlap(b, false) })
 	b.Run("overlap50", func(b *testing.B) { benchServeOverlap(b, true) })
+}
+
+// The serving layer under production-shaped load: many concurrent
+// clients (SetParallelism x GOMAXPROCS goroutines), half the
+// submissions repeating a small shared pool of grids (hitting the
+// report cache, the point store, and single-flight coalescing), half
+// unique (cold simulation). Each op is one submit-and-wait round
+// trip, so ns/op is the client-observed time-to-result under
+// contention; cmd/rrload measures the same mix over real HTTP.
+func BenchmarkServeLoad(b *testing.B) {
+	s, err := serve.New(serve.Config{
+		QueueCap:     512,
+		Workers:      4,
+		PointWorkers: 1,
+		JobTimeout:   time.Minute,
+		Logger:       log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Start()
+	defer s.Shutdown(context.Background())
+
+	pool := make([]serve.Request, 4)
+	for i := range pool {
+		pool[i] = serve.Request{Experiment: "figure5", Seed: uint64(i + 1),
+			Scale: "quick", F: []int{64}, R: []int{8}, L: []int{16}}
+	}
+	var uniq, rejected atomic.Int64
+	b.SetParallelism(16) // clients = 16 x GOMAXPROCS
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			req := pool[i%len(pool)]
+			if i%2 == 1 {
+				// Unique grid: a fresh seed cold-misses every cache layer.
+				req.Seed = 1_000_000 + uint64(uniq.Add(1))
+			}
+			i++
+			j, status, err := s.Submit(req)
+			if err != nil {
+				if status == 429 {
+					rejected.Add(1)
+					continue
+				}
+				b.Error(err)
+				return
+			}
+			select {
+			case <-j.Done():
+			case <-time.After(time.Minute):
+				b.Error("job stuck")
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	pc := s.PointCounters()
+	total := pc.Hits + pc.Misses
+	b.ReportMetric(float64(pc.Misses)/b.Elapsed().Seconds(), "points/s")
+	if total > 0 {
+		b.ReportMetric(float64(pc.Hits)/float64(total), "point_hit_frac")
+	}
+	b.ReportMetric(float64(rejected.Load()), "rejected")
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
 // Figure 5: cache faults, one bench per register file size panel.

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"regreloc/internal/serve"
+)
+
+// TestLoadSmoke drives a short rrload run against an in-process serve
+// daemon and checks the human summary and JSON snapshot both land.
+func TestLoadSmoke(t *testing.T) {
+	s := newTestDaemon(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "load.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL,
+		"-clients", "8",
+		"-duration", "500ms",
+		"-overlap", "0.5",
+		"-tenants", "2",
+		"-label", "smoke",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("rrload exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	human := stdout.String()
+	for _, want := range []string{"submits", "submit latency", "p50", "p95", "p99"} {
+		if !strings.Contains(human, want) {
+			t.Errorf("summary missing %q:\n%s", want, human)
+		}
+	}
+
+	var snaps []snapshot
+	raw := readFile(t, out)
+	if err := json.Unmarshal(raw, &snaps); err != nil {
+		t.Fatalf("snapshot file not a JSON array: %v\n%s", err, raw)
+	}
+	if len(snaps) != 1 || snaps[0].Label != "smoke" {
+		t.Fatalf("snapshots = %+v, want one labeled smoke", snaps)
+	}
+	b := snaps[0].Benchmarks
+	if len(b) != 1 || b[0].Name != "ServeLoad" {
+		t.Fatalf("benchmarks = %+v", b)
+	}
+	if b[0].Iterations < 1 || b[0].NsPerOp <= 0 {
+		t.Errorf("empty load run recorded: %+v", b[0])
+	}
+	for _, m := range []string{"submit_p50_ms", "submit_p95_ms", "submit_p99_ms", "jobs/s", "points/s"} {
+		if _, ok := b[0].Metrics[m]; !ok {
+			t.Errorf("snapshot missing metric %q: %v", m, b[0].Metrics)
+		}
+	}
+	accepted := b[0].Metrics["status_200"] + b[0].Metrics["status_201"]
+	if accepted < 1 {
+		t.Errorf("no accepted submissions: %v", b[0].Metrics)
+	}
+
+	// A second run appends rather than overwrites.
+	code = run([]string{"-addr", ts.URL, "-clients", "2", "-duration", "200ms",
+		"-label", "smoke2", "-out", out}, io.Discard, &stderr)
+	if code != 0 {
+		t.Fatalf("second run exited %d: %s", code, stderr.String())
+	}
+	snaps = nil
+	if err := json.Unmarshal(readFile(t, out), &snaps); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || snaps[1].Label != "smoke2" {
+		t.Fatalf("append failed: %d snapshots, labels %v", len(snaps), snaps)
+	}
+}
+
+// TestLoadBadFlags pins flag validation without a daemon.
+func TestLoadBadFlags(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run([]string{"-clients", "0"}, io.Discard, &stderr); code != 2 {
+		t.Errorf("bad -clients exited %d, want 2", code)
+	}
+	if code := run([]string{"-overlap", "1.5"}, io.Discard, &stderr); code != 2 {
+		t.Errorf("bad -overlap exited %d, want 2", code)
+	}
+	// Unreachable daemon fails fast with exit 1, not a hang.
+	if code := run([]string{"-addr", "127.0.0.1:1", "-duration", "1s"}, io.Discard, &stderr); code != 1 {
+		t.Errorf("unreachable daemon exited %d, want 1", code)
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func newTestDaemon(t *testing.T) *serve.Server {
+	t.Helper()
+	s, err := serve.New(serve.Config{
+		QueueCap:     64,
+		Workers:      4,
+		PointWorkers: 2,
+		JobTimeout:   time.Minute,
+		Logger:       log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+	return s
+}

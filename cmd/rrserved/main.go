@@ -35,6 +35,8 @@ import (
 	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,19 +54,21 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 	fs := flag.NewFlagSet("rrserved", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr         = fs.String("addr", "127.0.0.1:8347", "listen address")
-		queueCap     = fs.Int("queue", 64, "job queue capacity (full queue returns 429)")
-		workers      = fs.Int("workers", 2, "job worker pool size")
-		pointWorkers = fs.Int("point-workers", 0, "engine workers per job: 0 = one per core")
-		jobTimeout   = fs.Duration("job-timeout", 10*time.Minute, "per-job execution deadline")
-		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
-		cacheBytes   = fs.Int64("cache-bytes", 64<<20, "in-memory result cache budget in bytes")
-		cacheDir     = fs.String("cache-dir", "", "directory for the disk cache tier (empty = memory only)")
-		pointBytes   = fs.Int64("point-cache-bytes", 32<<20, "in-memory point-store budget in bytes (negative disables point memoization)")
-		pointDir     = fs.String("point-cache-dir", "", "directory for the point store's disk tier (empty = memory only)")
-		jobRetention = fs.Duration("job-retention", 15*time.Minute, "how long finished jobs stay queryable by ID")
-		maxJobs      = fs.Int("max-jobs", 1024, "job table cap: oldest finished jobs are pruned past it")
-		pprofOn      = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
+		addr          = fs.String("addr", "127.0.0.1:8347", "listen address")
+		queueCap      = fs.Int("queue", 64, "job queue capacity (full queue returns 429)")
+		workers       = fs.Int("workers", 2, "job worker pool size")
+		pointWorkers  = fs.Int("point-workers", 0, "engine workers per job: 0 = one per core")
+		jobTimeout    = fs.Duration("job-timeout", 10*time.Minute, "per-job execution deadline")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+		cacheBytes    = fs.Int64("cache-bytes", 64<<20, "in-memory result cache budget in bytes")
+		cacheDir      = fs.String("cache-dir", "", "directory for the disk cache tier (empty = memory only)")
+		pointBytes    = fs.Int64("point-cache-bytes", 32<<20, "in-memory point-store budget in bytes (negative disables point memoization)")
+		pointDir      = fs.String("point-cache-dir", "", "directory for the point store's disk tier (empty = memory only)")
+		jobRetention  = fs.Duration("job-retention", 15*time.Minute, "how long finished jobs stay queryable by ID")
+		maxJobs       = fs.Int("max-jobs", 1024, "job table cap: oldest finished jobs are pruned past it")
+		tenantMax     = fs.Int("tenant-max-inflight", 0, "max active jobs per tenant, 429 past it (0 = no per-tenant cap)")
+		tenantWeights = fs.String("tenant-weights", "", "comma-separated tenant dequeue weights, e.g. alice=4,bob=1 (unlisted tenants weigh 1)")
+		pprofOn       = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,20 +77,27 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 		fmt.Fprintln(stderr, "rrserved: -queue and -workers must be >= 1")
 		return 2
 	}
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		fmt.Fprintf(stderr, "rrserved: %v\n", err)
+		return 2
+	}
 	logger := log.New(stderr, "rrserved ", log.LstdFlags|log.Lmsgprefix)
 
 	srv, err := serve.New(serve.Config{
-		QueueCap:        *queueCap,
-		Workers:         *workers,
-		PointWorkers:    *pointWorkers,
-		JobTimeout:      *jobTimeout,
-		CacheBytes:      *cacheBytes,
-		CacheDir:        *cacheDir,
-		PointCacheBytes: *pointBytes,
-		PointCacheDir:   *pointDir,
-		JobRetention:    *jobRetention,
-		MaxJobs:         *maxJobs,
-		Logger:          logger,
+		QueueCap:          *queueCap,
+		Workers:           *workers,
+		PointWorkers:      *pointWorkers,
+		JobTimeout:        *jobTimeout,
+		CacheBytes:        *cacheBytes,
+		CacheDir:          *cacheDir,
+		PointCacheBytes:   *pointBytes,
+		PointCacheDir:     *pointDir,
+		JobRetention:      *jobRetention,
+		MaxJobs:           *maxJobs,
+		TenantWeights:     weights,
+		TenantMaxInflight: *tenantMax,
+		Logger:            logger,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "rrserved: %v\n", err)
@@ -150,4 +161,25 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 	}
 	logger.Printf("drained cleanly")
 	return 0
+}
+
+// parseTenantWeights parses "alice=4,bob=1" into the admission
+// queue's weight map. Empty input means every tenant weighs 1.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenant-weights: want name=weight, got %q", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-tenant-weights: weight for %q must be a positive integer, got %q", name, val)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }

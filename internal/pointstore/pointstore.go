@@ -29,11 +29,15 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"runtime/debug"
 	"sync"
+	"time"
 )
 
 // Store is the content-addressed per-point byte store. All methods
@@ -51,7 +55,20 @@ type Store struct {
 	// for the same key wait for the leader instead of recomputing.
 	inflight map[string]*flight
 
+	// logf receives operational warnings (first spill failure). nil
+	// uses the standard logger; SetLogf redirects it.
+	logf            func(format string, args ...any)
+	spillFailLogged bool
+
 	c Counters
+}
+
+// SetLogf redirects the store's operational warnings (e.g. the first
+// disk-spill failure) to f. The default is the standard logger.
+func (s *Store) SetLogf(f func(format string, args ...any)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logf = f
 }
 
 // Counters are the store's monotonic event counts, exposed for the
@@ -72,6 +89,12 @@ type Counters struct {
 	// VerifyFails counts disk entries dropped because their payload
 	// no longer matched the indexed checksum.
 	VerifyFails int64
+	// SpillFails counts entries that could not be written to the disk
+	// tier: an evicted entry whose spill fails is lost (the memory
+	// tier already dropped it), so a non-zero count means the store's
+	// working set is smaller than the caller believes and SaveIndex
+	// persisted an incomplete index.
+	SpillFails int64
 }
 
 type entry struct {
@@ -292,45 +315,61 @@ func (s *Store) insertLocked(key string, data []byte) {
 }
 
 // spillLocked writes an entry to the disk tier (a no-op without a
-// directory, or when the bytes are already there).
-func (s *Store) spillLocked(key string, data []byte) {
+// directory, or when the bytes are already there). A write failure is
+// counted in SpillFails and logged once — for an evicted entry it
+// means the bytes are gone from both tiers, so silence here would let
+// SaveIndex report success over an incomplete index.
+func (s *Store) spillLocked(key string, data []byte) error {
 	if s.dir == "" {
-		return
+		return nil
 	}
 	if _, ok := s.disk[key]; ok {
-		return
+		return nil
 	}
 	if err := os.WriteFile(s.path(key), data, 0o644); err != nil {
-		return
+		s.c.SpillFails++
+		if !s.spillFailLogged {
+			s.spillFailLogged = true
+			logf := s.logf
+			if logf == nil {
+				logf = log.Printf
+			}
+			logf("pointstore: spill to %s failed (entry lost; further failures counted, not logged): %v", s.dir, err)
+		}
+		return fmt.Errorf("pointstore: spilling %s: %w", key, err)
 	}
 	s.disk[key] = diskEntry{Size: int64(len(data)), Sum: checksum(data)}
 	s.c.SpillBytes += int64(len(data))
+	return nil
 }
 
 // SaveIndex persists the disk-tier index; long-running processes call
 // it during graceful shutdown so a restart resumes warm. Entries
 // still only in memory are spilled first so the whole working set is
-// persisted, not just the evicted part.
+// persisted, not just the evicted part. Spill failures do not stop
+// the remaining entries from being persisted, but they surface in the
+// returned error (joined) so the caller knows the index is partial.
 func (s *Store) SaveIndex() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dir == "" {
 		return nil
 	}
+	var spillErr error
 	for el := s.ll.Front(); el != nil; el = el.Next() {
 		ent := el.Value.(*entry)
-		s.spillLocked(ent.key, ent.data)
+		spillErr = errors.Join(spillErr, s.spillLocked(ent.key, ent.data))
 	}
 	idx := storeIndex{Version: indexVersion, Entries: s.disk}
 	raw, err := json.MarshalIndent(idx, "", " ")
 	if err != nil {
-		return err
+		return errors.Join(spillErr, err)
 	}
 	tmp := filepath.Join(s.dir, indexName+".tmp")
 	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
-		return err
+		return errors.Join(spillErr, err)
 	}
-	return os.Rename(tmp, filepath.Join(s.dir, indexName))
+	return errors.Join(spillErr, os.Rename(tmp, filepath.Join(s.dir, indexName)))
 }
 
 // Len returns the number of in-memory entries; DiskLen the number of
@@ -374,22 +413,78 @@ func checksum(data []byte) string {
 // any. Both the per-point keys and the serving layer's report-cache
 // keys fold it in, so a persisted cache is invalidated by upgrading
 // the binary — an old entry simply stops matching — rather than
-// served as current. Development builds without VCS stamping fall
-// back to the key-schema constants alone.
-var EngineVersion = sync.OnceValue(func() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "unknown"
-	}
-	v := bi.Main.Version
-	for _, s := range bi.Settings {
-		if s.Key == "vcs.revision" {
-			v += "+" + s.Value
-			break
+// served as current.
+//
+// Builds whose stamp does not uniquely identify the engine code —
+// no VCS revision at all (go test binaries, go run, builds outside a
+// checkout: version "(devel)" or "unknown") or a revision stamped
+// from a dirty worktree (vcs.modified) — additionally fold in a hash
+// of the running executable. Without that, every recompiled dev
+// binary would report the same version string and happily decode a
+// previous binary's persisted disk entries even when the engine
+// semantics changed underneath them. See docs/serve.md ("Cache
+// invalidation contract").
+func EngineVersion() string { return engineVer() }
+
+var engineVer = sync.OnceValue(func() string {
+	bi, _ := debug.ReadBuildInfo()
+	return engineVersion(bi, executableSum)
+})
+
+// engineVersion derives the version string from build info plus an
+// executable-hash source, factored out so the unstamped and dirty
+// cases are unit-testable (the process's own build info is fixed).
+func engineVersion(bi *debug.BuildInfo, exeSum func() (string, error)) string {
+	v := "unknown"
+	var rev string
+	var modified bool
+	if bi != nil {
+		if bi.Main.Version != "" {
+			v = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value == "true"
+			}
 		}
 	}
-	if v == "" {
-		v = "unknown"
+	if rev != "" {
+		v += "+" + rev
+		if !modified {
+			return v // clean stamped build: the revision is the code
+		}
 	}
-	return v
-})
+	sum, err := exeSum()
+	if err != nil {
+		// The binary's own image cannot be hashed, so nothing stable
+		// identifies this engine. Fold in a per-process nonce: entries
+		// this process writes are readable within it but never trusted
+		// by any other process — equivalent to refusing persistence,
+		// and strictly safer than serving a stale cache.
+		return fmt.Sprintf("%s+exe:unreadable.%d.%d", v, os.Getpid(), time.Now().UnixNano())
+	}
+	return v + "+exe:" + sum
+}
+
+// executableSum hashes the running binary's content, truncated to 16
+// hex chars — plenty to distinguish rebuilds, short enough to keep
+// keys readable.
+func executableSum() (string, error) {
+	path, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16], nil
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -205,4 +207,107 @@ func TestOversizedEntryBypassesMemory(t *testing.T) {
 	if data, ok := s.Get("big"); !ok || len(data) != 128 {
 		t.Fatal("oversized entry unreadable")
 	}
+}
+
+// TestSpillFailureCountedAndReported is the regression test for the
+// silent-spill-loss bug: with the spill directory gone, an eviction's
+// disk write fails, the entry vanishes from both tiers — and before
+// the fix nothing recorded it. Now the failure increments SpillFails,
+// logs once, and SaveIndex reports the loss instead of success.
+func TestSpillFailureCountedAndReported(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spill")
+	s, err := New(16, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logged atomic.Int64
+	s.SetLogf(func(format string, args ...any) { logged.Add(1) })
+	// Remove the directory out from under the store so every spill
+	// (eviction or SaveIndex flush) fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Put("a", bytes.Repeat([]byte("x"), 12))
+	s.Put("b", bytes.Repeat([]byte("y"), 12)) // evicts "a"; spill fails
+
+	c := s.Counters()
+	if c.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions)
+	}
+	if c.SpillFails != 1 {
+		t.Errorf("SpillFails = %d, want 1 (evicted entry lost to a failed write)", c.SpillFails)
+	}
+	if logged.Load() != 1 {
+		t.Errorf("logged %d spill warnings, want exactly 1 (first failure only)", logged.Load())
+	}
+	if s.Contains("a") {
+		t.Error("store still claims the lost entry")
+	}
+
+	// SaveIndex flushes the memory tier; those spills fail too, and the
+	// error must surface rather than reporting a complete index.
+	if err := s.SaveIndex(); err == nil {
+		t.Error("SaveIndex = nil, want spill failure surfaced")
+	}
+	if got := s.Counters().SpillFails; got < 2 {
+		t.Errorf("SpillFails after SaveIndex = %d, want >= 2", got)
+	}
+	if logged.Load() != 1 {
+		t.Errorf("logged %d warnings after SaveIndex, want still 1", logged.Load())
+	}
+}
+
+// TestEngineVersionQualifiesUnstampedBuilds is the regression test for
+// the stale-cache hazard: every non-VCS-stamped build used to report
+// the same version string ("unknown" or "(devel)"), so a recompiled
+// dev binary with changed engine semantics would decode a previous
+// binary's persisted entries. The version must now be qualified by the
+// executable's content hash whenever the stamp alone does not identify
+// the code.
+func TestEngineVersionQualifiesUnstampedBuilds(t *testing.T) {
+	sum := func() (string, error) { return "deadbeefcafe0123", nil }
+	cases := []struct {
+		name string
+		bi   *debug.BuildInfo
+		want string
+	}{
+		{"no build info", nil, "unknown+exe:deadbeefcafe0123"},
+		{"devel build", biWith("(devel)", "", false), "(devel)+exe:deadbeefcafe0123"},
+		{"empty version", biWith("", "", false), "unknown+exe:deadbeefcafe0123"},
+		{"clean stamped", biWith("v1.2.0", "abc123", false), "v1.2.0+abc123"},
+		{"dirty stamped", biWith("(devel)", "abc123", true), "(devel)+abc123+exe:deadbeefcafe0123"},
+	}
+	for _, tc := range cases {
+		if got := engineVersion(tc.bi, sum); got != tc.want {
+			t.Errorf("%s: engineVersion = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+
+	// An unreadable executable must still never alias another binary's
+	// entries: the fallback is per-process, i.e. unstable on purpose.
+	failSum := func() (string, error) { return "", fmt.Errorf("no exe") }
+	v1 := engineVersion(biWith("(devel)", "", false), failSum)
+	if v1 == "(devel)" || v1 == "unknown" {
+		t.Errorf("unreadable-exe fallback %q is a bare dev version", v1)
+	}
+
+	// The live version (a test binary: devel, unstamped) must carry the
+	// exe qualifier — this is the assertion that fails on pre-fix code,
+	// where EngineVersion() returned bare "(devel)"/"unknown".
+	if live := EngineVersion(); !strings.Contains(live, "+exe:") {
+		t.Errorf("EngineVersion() = %q, want an +exe: qualifier on this unstamped test build", live)
+	}
+}
+
+func biWith(version, rev string, modified bool) *debug.BuildInfo {
+	bi := &debug.BuildInfo{}
+	bi.Main.Version = version
+	if rev != "" {
+		bi.Settings = append(bi.Settings, debug.BuildSetting{Key: "vcs.revision", Value: rev})
+	}
+	if modified {
+		bi.Settings = append(bi.Settings, debug.BuildSetting{Key: "vcs.modified", Value: "true"})
+	}
+	return bi
 }

@@ -37,6 +37,37 @@ type Request struct {
 	F []int `json:"f,omitempty"`
 	R []int `json:"r,omitempty"`
 	L []int `json:"l,omitempty"`
+
+	// Tenant is the admission-control bucket the submission bills
+	// against, derived from the X-RR-Tenant header — never from the
+	// body, and deliberately excluded from the cache key: who asks does
+	// not change the bytes.
+	Tenant string `json:"-"`
+}
+
+// tenantName resolves the admission bucket, sanitized so arbitrary
+// header bytes cannot grow metric label cardinality or escape the
+// Prometheus exposition format.
+func (q Request) tenantName() string {
+	t := q.Tenant
+	if t == "" {
+		return defaultTenant
+	}
+	if len(t) > 64 {
+		t = t[:64]
+	}
+	out := make([]byte, 0, len(t))
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
 }
 
 // maxGridLen bounds each requested grid axis; with two to five
@@ -155,6 +186,9 @@ type Job struct {
 	// point-key planner (or the store is disabled).
 	planPoints int
 	planCached int
+	// tenant is the admission bucket the job holds an in-flight slot
+	// in, fixed at submission.
+	tenant string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -166,11 +200,42 @@ type Job struct {
 	cached    bool
 	coalesced int
 	errMsg    string
+	enqueued  time.Time // when the job entered the admission queue
 	started   time.Time
 	finished  time.Time
 	progDone  int
 	progTotal int
 	result    []byte
+
+	// Event log for the streaming endpoint: every append bumps eventSeq,
+	// stores the event for Last-Event-ID replay, and wakes subscribers
+	// by closing (and replacing) eventWake. Progress events are batched
+	// (progLastEvent tracks the last emitted done count) so a
+	// thousand-cell sweep logs tens of events, not thousands.
+	events        []Event
+	eventSeq      int64
+	eventWake     chan struct{}
+	progLastEvent int
+}
+
+// markEnqueued stamps the queue-entry time, for the queue-wait
+// histogram, and logs the queued-state event.
+func (j *Job) markEnqueued() {
+	j.mu.Lock()
+	j.enqueued = time.Now()
+	j.appendEventLocked(Event{Type: EventState, State: StateQueued})
+	j.mu.Unlock()
+}
+
+// queueWait returns how long the job sat in the queue, or a negative
+// duration if it never went through it (inline assembly).
+func (j *Job) queueWait() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.enqueued.IsZero() {
+		return -1
+	}
+	return time.Since(j.enqueued)
 }
 
 // Progress is a point-completion counter pair.
@@ -196,6 +261,7 @@ type Status struct {
 	Experiment string          `json:"experiment"`
 	Seed       uint64          `json:"seed"`
 	Scale      string          `json:"scale"`
+	Tenant     string          `json:"tenant,omitempty"`
 	State      State           `json:"state"`
 	Cached     bool            `json:"cached"`
 	Coalesced  int             `json:"coalesced"`
@@ -210,6 +276,18 @@ type Status struct {
 func (j *Job) setProgress(done, total int) {
 	j.mu.Lock()
 	j.progDone, j.progTotal = done, total
+	// Emit a progress event per completed cell batch: every ~1/32nd of
+	// the sweep (at least one cell), plus the final cell. Keeps the
+	// event log (and an SSE client's inbox) a few dozen entries however
+	// large the grid is.
+	batch := total / 32
+	if batch < 1 {
+		batch = 1
+	}
+	if done == total || done-j.progLastEvent >= batch {
+		j.progLastEvent = done
+		j.appendEventLocked(Event{Type: EventProgress, Done: done, Total: total})
+	}
 	j.mu.Unlock()
 }
 
@@ -228,6 +306,7 @@ func (j *Job) setState(s State) bool {
 	if s == StateRunning {
 		j.started = time.Now()
 	}
+	j.appendEventLocked(Event{Type: EventState, State: s})
 	return true
 }
 
@@ -245,6 +324,7 @@ func (j *Job) finalize(s State, result []byte, err error) bool {
 		j.errMsg = err.Error()
 	}
 	j.finished = time.Now()
+	j.appendEventLocked(Event{Type: EventState, State: s, Error: j.errMsg})
 	j.mu.Unlock()
 	close(j.done)
 	if j.cancel != nil {
@@ -290,6 +370,7 @@ func (j *Job) Status(withResult bool) Status {
 		Experiment: req.Experiment,
 		Seed:       req.Seed,
 		Scale:      req.Scale,
+		Tenant:     j.tenant,
 		State:      j.state,
 		Cached:     j.cached,
 		Coalesced:  j.coalesced,

@@ -15,6 +15,20 @@ import (
 // grid (minutes).
 var latencyBounds = []float64{0.005, 0.02, 0.1, 0.5, 2, 10, 60, 300}
 
+// submitBounds cover the submit path (validation + planning +
+// admission, plus inline assembly on the fast path): sub-millisecond
+// to a few seconds.
+var submitBounds = []float64{0.0005, 0.002, 0.01, 0.05, 0.25, 1, 5}
+
+// queueWaitBounds cover time from enqueue to worker pickup: from
+// idle-pool microseconds to minutes of backlog.
+var queueWaitBounds = []float64{0.001, 0.01, 0.1, 0.5, 2, 10, 60, 300}
+
+// maxTenantSeries bounds the per-tenant counter map so header-derived
+// tenant names cannot grow the metrics endpoint without limit; past
+// it new tenants aggregate under the "other" label.
+const maxTenantSeries = 64
+
 // metrics aggregates the daemon's counters. Everything is guarded by
 // one mutex: updates happen a handful of times per job, so contention
 // is irrelevant next to simulation work.
@@ -34,14 +48,65 @@ type metrics struct {
 	planPoints int64 // sweep points addressed by admitted jobs' plans
 	planCached int64 // of those, already in the point store at admission
 
-	latency map[string]*stats.Histogram // per-experiment job seconds
+	latency   map[string]*stats.Histogram // per-experiment job seconds
+	submitDur *stats.Histogram            // Submit wall time, all outcomes
+	queueWait *stats.Histogram            // enqueue → worker pickup
+
+	tenants map[string]*tenantCounters // per-tenant submission outcomes
+}
+
+// tenantCounters are one tenant's submission outcomes, labelled by
+// the sanitized X-RR-Tenant value.
+type tenantCounters struct {
+	submitted int64 // submissions answered 2xx (new, coalesced, cached)
+	rejected  int64 // submissions answered 429 (queue full or over share)
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		byState: make(map[State]int64),
-		latency: make(map[string]*stats.Histogram),
+		byState:   make(map[State]int64),
+		latency:   make(map[string]*stats.Histogram),
+		submitDur: stats.NewHistogram(submitBounds...),
+		queueWait: stats.NewHistogram(queueWaitBounds...),
+		tenants:   make(map[string]*tenantCounters),
 	}
+}
+
+// tenantLocked resolves a tenant's counter row, capping series
+// cardinality. Caller holds m.mu.
+func (m *metrics) tenantLocked(tenant string) *tenantCounters {
+	tc, ok := m.tenants[tenant]
+	if !ok {
+		if len(m.tenants) >= maxTenantSeries {
+			tenant = "other"
+			if tc, ok = m.tenants[tenant]; ok {
+				return tc
+			}
+		}
+		tc = &tenantCounters{}
+		m.tenants[tenant] = tc
+	}
+	return tc
+}
+
+// observeSubmit records one Submit call: its duration and, when the
+// request was well-formed enough to bill a tenant, the outcome.
+func (m *metrics) observeSubmit(tenant string, status int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.submitDur.Observe(seconds)
+	switch {
+	case status >= 200 && status < 300:
+		m.tenantLocked(tenant).submitted++
+	case status == 429:
+		m.tenantLocked(tenant).rejected++
+	}
+}
+
+func (m *metrics) observeQueueWait(seconds float64) {
+	m.mu.Lock()
+	m.queueWait.Observe(seconds)
+	m.mu.Unlock()
 }
 
 func (m *metrics) incSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
@@ -121,6 +186,10 @@ type gauges struct {
 	pointEntries int
 	pointDisk    int
 	pointBytes   int64
+
+	// Admission-queue snapshot: active (queued + running + inline)
+	// jobs per tenant, with the tenant's scheduling weight.
+	tenants []tenantBucket
 }
 
 // writeProm renders the Prometheus text exposition format.
@@ -167,11 +236,29 @@ func (m *metrics) writeProm(w io.Writer, g gauges) {
 		counter("rrserve_pointstore_coalesced_total", "Point computations joined onto an identical in-flight simulation.", g.points.Joins)
 		counter("rrserve_pointstore_evictions_total", "Point entries evicted from the memory tier by the byte budget.", g.points.Evictions)
 		counter("rrserve_pointstore_spill_bytes_total", "Point payload bytes written to the disk tier.", g.points.SpillBytes)
+		counter("rrserve_pointstore_spill_failures_total", "Point entries lost because their disk spill failed.", g.points.SpillFails)
 		counter("rrserve_pointstore_verify_failures_total", "Point disk entries rejected by checksum verification.", g.points.VerifyFails)
 		gauge("rrserve_pointstore_entries", "In-memory point-store entries.", int64(g.pointEntries))
 		gauge("rrserve_pointstore_disk_entries", "Disk-tier point-store entries.", int64(g.pointDisk))
 		gauge("rrserve_pointstore_bytes", "In-memory point-store payload bytes.", g.pointBytes)
 	}
+
+	// Per-tenant admission metrics.
+	fmt.Fprintf(w, "# HELP rrserve_tenant_submitted_total Accepted submissions by tenant.\n# TYPE rrserve_tenant_submitted_total counter\n")
+	for _, name := range sortedTenants(m.tenants) {
+		fmt.Fprintf(w, "rrserve_tenant_submitted_total{tenant=%q} %d\n", name, m.tenants[name].submitted)
+	}
+	fmt.Fprintf(w, "# HELP rrserve_tenant_rejected_total Submissions rejected with 429 by tenant (queue full or over in-flight share).\n# TYPE rrserve_tenant_rejected_total counter\n")
+	for _, name := range sortedTenants(m.tenants) {
+		fmt.Fprintf(w, "rrserve_tenant_rejected_total{tenant=%q} %d\n", name, m.tenants[name].rejected)
+	}
+	fmt.Fprintf(w, "# HELP rrserve_tenant_active_jobs Active (queued, running, or inline) jobs by tenant.\n# TYPE rrserve_tenant_active_jobs gauge\n")
+	for _, b := range g.tenants {
+		fmt.Fprintf(w, "rrserve_tenant_active_jobs{tenant=%q} %d\n", b.name, b.active)
+	}
+
+	writeHistogram(w, "rrserve_submit_duration_seconds", "Submit-path wall time (validation, planning, admission, inline assembly).", m.submitDur)
+	writeHistogram(w, "rrserve_queue_wait_seconds", "Time jobs spent queued before a worker picked them up.", m.queueWait)
 
 	// Per-experiment job-duration histograms, Prometheus-style:
 	// cumulative buckets plus _sum and _count.
@@ -195,4 +282,26 @@ func (m *metrics) writeProm(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "rrserve_job_duration_seconds_sum{experiment=%q} %g\n", id, h.Sum())
 		fmt.Fprintf(w, "rrserve_job_duration_seconds_count{experiment=%q} %d\n", id, h.N())
 	}
+}
+
+func sortedTenants(m map[string]*tenantCounters) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// writeHistogram renders one unlabelled histogram in the Prometheus
+// text format.
+func writeHistogram(w io.Writer, name, help string, h *stats.Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := h.Cumulative()
+	for i, b := range h.Bounds() {
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.N())
 }

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// This file is the admission-control queue that replaced the plain
+// FIFO channel: jobs are bucketed by tenant (derived from the
+// X-RR-Tenant request header), workers dequeue tenants by stride
+// scheduling — each tenant advances a virtual "pass" inversely
+// proportional to its weight, and the backlogged tenant with the
+// smallest pass goes next — and admission enforces both a global
+// queue capacity and a per-tenant in-flight cap. A tenant hammering
+// the daemon therefore delays its own backlog, not everyone else's,
+// which is the serving-layer version of the paper's thesis: stay
+// responsive while expensive work is outstanding.
+
+// Admission errors, mapped to 429 + Retry-After by Submit's callers.
+var (
+	errQueueFull       = errors.New("job queue is full")
+	errTenantOverShare = errors.New("tenant exceeds its in-flight share")
+	errQueueClosed     = errors.New("queue is closed")
+)
+
+// strideScale is the stride-scheduling numerator: a tenant of weight w
+// advances its pass by strideScale/w per dispatched job, so a weight-4
+// tenant is dispatched 4× as often as a weight-1 tenant under backlog.
+const strideScale = 1 << 16
+
+// defaultTenant buckets requests that carry no tenant header.
+const defaultTenant = "default"
+
+type tenantBucket struct {
+	name   string
+	weight int
+	pass   float64 // stride-scheduling virtual time
+	jobs   []*Job  // FIFO within the tenant
+	active int     // queued + running + inline jobs, for the in-flight cap
+}
+
+// jobQueue is the tenant-aware bounded job queue. The zero value is
+// not usable; use newJobQueue.
+type jobQueue struct {
+	mu           sync.Mutex
+	cond         *sync.Cond
+	capacity     int            // max queued jobs across all tenants
+	perTenantCap int            // max active jobs per tenant; 0 = unlimited
+	weights      map[string]int // configured tenant weights; absent = 1
+	closed       bool
+	queued       int
+	pass         float64 // pass of the most recently dispatched bucket
+	tenants      map[string]*tenantBucket
+}
+
+func newJobQueue(capacity, perTenantCap int, weights map[string]int) *jobQueue {
+	q := &jobQueue{
+		capacity:     capacity,
+		perTenantCap: perTenantCap,
+		weights:      weights,
+		tenants:      make(map[string]*tenantBucket),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *jobQueue) bucketLocked(tenant string) *tenantBucket {
+	b, ok := q.tenants[tenant]
+	if !ok {
+		w := q.weights[tenant]
+		if w <= 0 {
+			w = 1
+		}
+		b = &tenantBucket{name: tenant, weight: w}
+		q.tenants[tenant] = b
+	}
+	return b
+}
+
+// reserve claims one in-flight slot for the tenant, enforcing the
+// per-tenant cap. Every admitted job — queued or inline-assembled —
+// reserves before doing work and releases exactly once on reaching a
+// terminal state.
+func (q *jobQueue) reserve(tenant string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	b := q.bucketLocked(tenant)
+	if q.perTenantCap > 0 && b.active >= q.perTenantCap {
+		return errTenantOverShare
+	}
+	b.active++
+	return nil
+}
+
+// release returns a tenant's in-flight slot. Idle buckets are dropped
+// so header-derived tenant names cannot grow the map without bound.
+func (q *jobQueue) release(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.tenants[tenant]
+	if !ok {
+		return
+	}
+	if b.active > 0 {
+		b.active--
+	}
+	if b.active == 0 && len(b.jobs) == 0 {
+		delete(q.tenants, tenant)
+	}
+}
+
+// enqueue adds a reserved job to its tenant's bucket, bounded by the
+// global capacity. On errQueueFull the caller still holds the
+// reservation and must release it.
+func (q *jobQueue) enqueue(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	if q.queued >= q.capacity {
+		return errQueueFull
+	}
+	b := q.bucketLocked(j.tenant)
+	if len(b.jobs) == 0 && b.pass < q.pass {
+		// A tenant entering backlog starts at the scheduler's current
+		// virtual time: it cannot replay the idle period as credit and
+		// starve tenants that kept the queue busy meanwhile.
+		b.pass = q.pass
+	}
+	b.jobs = append(b.jobs, j)
+	q.queued++
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available or the queue is closed and
+// empty. After close it keeps returning the backlog — graceful drain
+// lets queued jobs finish — and only then reports ok=false.
+func (q *jobQueue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.queued == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+	// Stride pick: the backlogged tenant with the smallest pass;
+	// lexicographic name breaks ties so dispatch order is deterministic.
+	var best *tenantBucket
+	for _, b := range q.tenants {
+		if len(b.jobs) == 0 {
+			continue
+		}
+		if best == nil || b.pass < best.pass || (b.pass == best.pass && b.name < best.name) {
+			best = b
+		}
+	}
+	j := best.jobs[0]
+	copy(best.jobs, best.jobs[1:])
+	best.jobs[len(best.jobs)-1] = nil
+	best.jobs = best.jobs[:len(best.jobs)-1]
+	q.queued--
+	q.pass = best.pass
+	best.pass += strideScale / float64(best.weight)
+	return j, true
+}
+
+// depth returns the number of queued (not yet dispatched) jobs.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
+// tenantsSnapshot returns the active tenants sorted by name, for the
+// metrics endpoint.
+func (q *jobQueue) tenantsSnapshot() []tenantBucket {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]tenantBucket, 0, len(q.tenants))
+	for _, b := range q.tenants {
+		out = append(out, tenantBucket{name: b.name, weight: b.weight, active: b.active})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// close stops admission and wakes every worker blocked in pop. Queued
+// jobs remain poppable (drain semantics).
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// drainRemaining empties the queue without blocking and returns the
+// jobs, in tenant-bucketed order. Shutdown uses it to finalize jobs a
+// never-started server could otherwise strand forever.
+func (q *jobQueue) drainRemaining() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*Job
+	names := make([]string, 0, len(q.tenants))
+	for name := range q.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := q.tenants[name]
+		out = append(out, b.jobs...)
+		b.jobs = nil
+	}
+	q.queued = 0
+	return out
+}

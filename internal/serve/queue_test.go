@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func queuedJob(id, tenant string) *Job {
+	return &Job{ID: id, tenant: tenant, done: make(chan struct{}), eventWake: make(chan struct{})}
+}
+
+// TestQueueWeightedDispatch pins the stride scheduler: with tenants
+// backlogged together, dispatch frequency is proportional to weight,
+// and within a tenant order stays FIFO.
+func TestQueueWeightedDispatch(t *testing.T) {
+	q := newJobQueue(64, 0, map[string]int{"heavy": 3, "light": 1})
+	for i := 0; i < 4; i++ {
+		for _, tenant := range []string{"heavy", "light"} {
+			if err := q.reserve(tenant); err != nil {
+				t.Fatal(err)
+			}
+			if err := q.enqueue(queuedJob(tenant+string(rune('0'+i)), tenant)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var order []string
+	for q.depth() > 0 {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatal("pop returned closed")
+		}
+		order = append(order, j.ID)
+	}
+	got := strings.Join(order, " ")
+	// Stride scheduling with weights 3:1 dispatches three heavy jobs
+	// per light one. Exact interleave: both buckets start at pass 0 and
+	// heavy wins the tie lexicographically (stride 65536/3 = 21845);
+	// light's pass 0 then beats heavy's 21845; heavy runs at 21845,
+	// 43690, and 65535 — all below light's advanced pass of 65536.
+	want := "heavy0 light0 heavy1 heavy2 heavy3 light1 light2 light3"
+	if got != want {
+		t.Errorf("dispatch order:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestQueueTenantFairnessUnderBacklog checks the property that matters
+// under load: an aggressive tenant's backlog cannot starve a modest
+// one — with equal weights, dispatches alternate regardless of how
+// lopsided the backlogs are.
+func TestQueueTenantFairnessUnderBacklog(t *testing.T) {
+	q := newJobQueue(128, 0, nil)
+	for i := 0; i < 20; i++ {
+		q.reserve("hog")
+		if err := q.enqueue(queuedJob("hog", "hog")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.reserve("modest")
+	if err := q.enqueue(queuedJob("modest", "modest")); err != nil {
+		t.Fatal(err)
+	}
+	// The modest tenant's single job must be dispatched within the
+	// first two pops, not after the hog's twenty.
+	first, _ := q.pop()
+	second, _ := q.pop()
+	if first.ID != "modest" && second.ID != "modest" {
+		t.Errorf("modest tenant starved: first two dispatches were %s, %s", first.ID, second.ID)
+	}
+}
+
+// TestQueuePerTenantCap pins the in-flight cap: past it, reserve
+// fails with the over-share error while other tenants still get in.
+func TestQueuePerTenantCap(t *testing.T) {
+	q := newJobQueue(64, 2, nil)
+	if err := q.reserve("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.reserve("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.reserve("a"); !errors.Is(err, errTenantOverShare) {
+		t.Fatalf("third reserve = %v, want errTenantOverShare", err)
+	}
+	if err := q.reserve("b"); err != nil {
+		t.Fatalf("other tenant blocked by a's share: %v", err)
+	}
+	q.release("a")
+	if err := q.reserve("a"); err != nil {
+		t.Fatalf("reserve after release = %v", err)
+	}
+}
+
+// TestTenantOverShareReturns429 exercises the cap through the whole
+// server: a tenant at its in-flight limit gets 429 + Retry-After over
+// HTTP, and a different tenant's submission still lands.
+func TestTenantOverShareReturns429(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.TenantMaxInflight = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	s.runJob = func(ctx context.Context, j *Job) ([]byte, int, error) {
+		select {
+		case <-release:
+			return []byte(`{}`), 0, nil
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+	}
+	s.Start()
+	defer func() { close(release); s.Shutdown(context.Background()) }()
+
+	mkReq := func(seed uint64, tenant string) Request {
+		r := tinyRequest()
+		r.Seed = seed
+		r.Tenant = tenant
+		return r
+	}
+	if _, status, err := s.Submit(mkReq(1, "alice")); err != nil || status != http.StatusCreated {
+		t.Fatalf("submit 1: status=%d err=%v", status, err)
+	}
+	_, status, err := s.Submit(mkReq(2, "alice"))
+	if status != http.StatusTooManyRequests || !errors.Is(err, errTenantOverShare) {
+		t.Fatalf("submit 2: status=%d err=%v, want 429 over-share", status, err)
+	}
+	if _, status, err := s.Submit(mkReq(3, "bob")); err != nil || status != http.StatusCreated {
+		t.Fatalf("bob blocked by alice's share: status=%d err=%v", status, err)
+	}
+
+	// Coalescing onto alice's in-flight job consumes no share: it must
+	// succeed even though alice is at her cap.
+	if _, status, err := s.Submit(mkReq(1, "alice")); err != nil || status != http.StatusOK {
+		t.Fatalf("coalesced submit: status=%d err=%v", status, err)
+	}
+}
+
+// TestQueueDrainSemantics pins close/pop interplay: after close the
+// backlog keeps popping (graceful drain) and only then ok=false.
+func TestQueueDrainSemantics(t *testing.T) {
+	q := newJobQueue(8, 0, nil)
+	q.reserve("t")
+	q.enqueue(queuedJob("a", "t"))
+	q.reserve("t")
+	q.enqueue(queuedJob("b", "t"))
+	q.close()
+	if err := q.enqueue(queuedJob("c", "t")); !errors.Is(err, errQueueClosed) {
+		t.Fatalf("enqueue after close = %v, want errQueueClosed", err)
+	}
+	for _, want := range []string{"a", "b"} {
+		j, ok := q.pop()
+		if !ok || j.ID != want {
+			t.Fatalf("pop = %v, %v; want %s", j, ok, want)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on closed empty queue reported ok")
+	}
+}
+
+// TestTenantHeaderDerivation checks the header → bucket mapping,
+// including sanitization of hostile values.
+func TestTenantHeaderDerivation(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "default"},
+		{"alice", "alice"},
+		{"team.a-b_c", "team.a-b_c"},
+		{`evil"} bad{`, "evil___bad_"},
+		{strings.Repeat("x", 100), strings.Repeat("x", 64)},
+	}
+	for _, tc := range cases {
+		r := Request{Tenant: tc.in}
+		if got := r.tenantName(); got != tc.want {
+			t.Errorf("tenantName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestTenantMetricsExported drives submissions under two tenants and
+// checks the per-tenant series plus the new histograms appear.
+func TestTenantMetricsExported(t *testing.T) {
+	cfg := Config{QueueCap: 8, Workers: 2, PointWorkers: 2,
+		JobTimeout: time.Minute, Logger: log.New(io.Discard, "", 0)}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Shutdown(context.Background())
+
+	req := tinyRequest()
+	req.Tenant = "alice"
+	j, _, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	body := rr.Body.String()
+	for _, want := range []string{
+		`rrserve_tenant_submitted_total{tenant="alice"} 1`,
+		"rrserve_submit_duration_seconds_count 1",
+		"rrserve_queue_wait_seconds_count 1",
+		"rrserve_pointstore_spill_failures_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

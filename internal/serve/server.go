@@ -59,6 +59,16 @@ type Config struct {
 	MaxJobs int
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// TenantWeights maps tenant names (X-RR-Tenant header values) to
+	// dequeue weights for the admission queue's stride scheduler: under
+	// backlog a weight-4 tenant's jobs are dispatched 4× as often as a
+	// weight-1 tenant's. Unlisted tenants get weight 1.
+	TenantWeights map[string]int
+	// TenantMaxInflight caps one tenant's active jobs (queued, running,
+	// or inline-assembling) — past it submissions are rejected with 429
+	// + Retry-After so one tenant cannot monopolize the queue. 0 means
+	// no per-tenant cap (the global QueueCap still applies).
+	TenantMaxInflight int
 	// Logger receives structured request and job logs (default: a
 	// stderr logger).
 	Logger *log.Logger
@@ -114,7 +124,7 @@ type Server struct {
 	jobs     map[string]*Job
 	order    []string        // submission order, for listing
 	inflight map[string]*Job // request key → queued/running job
-	queue    chan *Job
+	queue    *jobQueue
 	draining bool
 	started  bool
 	nextID   int64
@@ -125,6 +135,11 @@ type Server struct {
 	// completed points). Tests replace it to control timing; the
 	// default is (*Server).runExperiment.
 	runJob func(ctx context.Context, j *Job) ([]byte, int, error)
+
+	// postAdmitHook, when non-nil, runs between a job's admission for
+	// inline assembly and the coverage re-check. Tests use it to force
+	// the eviction race the re-check defends against.
+	postAdmitHook func(j *Job)
 }
 
 // New builds a Server (loading the disk cache index, if any). Call
@@ -153,7 +168,10 @@ func New(cfg Config) (*Server, error) {
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[string]*Job),
-		queue:      make(chan *Job, cfg.QueueCap),
+		queue:      newJobQueue(cfg.QueueCap, cfg.TenantMaxInflight, cfg.TenantWeights),
+	}
+	if points != nil {
+		points.SetLogf(cfg.Logger.Printf)
 	}
 	s.runJob = s.runExperiment
 	s.buildMux()
@@ -185,9 +203,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return errors.New("serve: already shut down")
 	}
 	s.draining = true
-	close(s.queue) // submit checks draining under mu before sending
 	started := s.started
 	s.mu.Unlock()
+	s.queue.close() // submit checks draining under mu before enqueueing
 
 	if started {
 		done := make(chan struct{})
@@ -204,26 +222,55 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.baseCancel()
 			<-done
 		}
+	} else {
+		// Never-started server: no workers will ever drain the queue, so
+		// finalize the backlog here — otherwise each job's Done channel
+		// never closes and clients waiting on it block forever.
+		for _, j := range s.queue.drainRemaining() {
+			if j.finalize(StateCanceled, nil, errors.New("server shut down before starting")) {
+				s.forgetInflight(j)
+				s.queue.release(j.tenant)
+				s.met.jobFinished(j.Req.Experiment, StateCanceled, -1, false)
+			}
+		}
 	}
 	s.baseCancel()
+	// Persist both indexes even when one fails: skipping the point
+	// store because the report cache errored would silently lose the
+	// warm point index.
+	var errs []error
 	if err := s.cache.SaveIndex(); err != nil {
-		return fmt.Errorf("serve: persisting cache index: %w", err)
+		errs = append(errs, fmt.Errorf("serve: persisting cache index: %w", err))
 	}
 	if s.points != nil {
 		if err := s.points.SaveIndex(); err != nil {
-			return fmt.Errorf("serve: persisting point-store index: %w", err)
+			errs = append(errs, fmt.Errorf("serve: persisting point-store index: %w", err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
+
+// maxInlineMisses bounds how many sweep cells an inline assembly may
+// simulate on the submitter's goroutine. The plan said every cell was
+// stored, but a memory-only store can evict (and lose) entries between
+// planning and assembly; past this budget the job falls back to the
+// queue instead of running an unbounded sweep on an HTTP handler.
+const maxInlineMisses = 2
 
 // Submit validates and enqueues a request, returning the job (which
 // may be an existing in-flight job the submission coalesced onto, or
 // an already-done cached job) plus the HTTP status describing what
 // happened: 201 (new job queued), 200 (coalesced, cache hit, or
-// assembled entirely from the point store), 429 (queue full), 503
-// (draining), 400 (invalid).
+// assembled entirely from the point store), 429 (queue full or tenant
+// over its in-flight share), 503 (draining), 400 (invalid).
 func (s *Server) Submit(req Request) (*Job, int, error) {
+	start := time.Now()
+	j, status, err := s.submit(req)
+	s.met.observeSubmit(req.tenantName(), status, time.Since(start).Seconds())
+	return j, status, err
+}
+
+func (s *Server) submit(req Request) (*Job, int, error) {
 	if err := req.validate(); err != nil {
 		return nil, http.StatusBadRequest, err
 	}
@@ -233,10 +280,11 @@ func (s *Server) Submit(req Request) (*Job, int, error) {
 	// Plan the request against the point store before taking the
 	// server lock: computing a large grid's keys is pure hashing, and
 	// coverage only needs the store's own lock.
+	var keys []string
 	var planned, covered int
 	if s.points != nil {
 		if e, ok := experiment.Get(req.Experiment); ok && e.PointKeys != nil {
-			keys := e.PointKeys(req.Seed, req.scale(), req.grids())
+			keys = e.PointKeys(req.Seed, req.scale(), req.grids())
 			planned = len(keys)
 			covered = s.points.Covered(keys)
 		}
@@ -246,18 +294,58 @@ func (s *Server) Submit(req Request) (*Job, int, error) {
 	if !inline {
 		return j, status, err
 	}
-	// Fully covered: every cell decodes from the point store, so the
-	// "sweep" is cheap assembly. Run it on the submitter's goroutine
-	// instead of burning queue capacity and a worker slot — the client
-	// gets a done job back, same as a whole-report cache hit.
+	if h := s.postAdmitHook; h != nil {
+		h(j)
+	}
+	// Fully covered at planning time: every cell decodes from the point
+	// store, so the "sweep" is cheap assembly and can run on the
+	// submitter's goroutine instead of burning queue capacity and a
+	// worker slot. But coverage is a moment-in-time fact: entries
+	// evicted since planning are gone for good on a memory-only store,
+	// and the engine's decode-miss fallback would then simulate them
+	// right here — bypassing the queue, the worker pool, and the job
+	// timeout. Re-check at assembly time and requeue past a small miss
+	// budget.
+	if missing := len(keys) - s.points.Covered(keys); missing > maxInlineMisses {
+		s.log.Printf("job %s lost %d/%d planned cells to eviction, queueing instead of inline assembly",
+			j.ID, missing, len(keys))
+		if qerr := s.queue.enqueue(j); qerr != nil {
+			s.dropJob(j)
+			s.met.incRejected()
+			return nil, http.StatusTooManyRequests, qerr
+		}
+		j.markEnqueued()
+		return j, http.StatusCreated, nil
+	}
 	s.runOne(j)
 	return j, http.StatusOK, nil
 }
 
+// dropJob unregisters a job that was admitted but could not be run or
+// queued, releasing its tenant slot and context registration.
+func (s *Server) dropJob(j *Job) {
+	s.mu.Lock()
+	delete(s.jobs, j.ID)
+	for i, id := range s.order {
+		if id == j.ID {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if s.inflight[j.Key] == j {
+		delete(s.inflight, j.Key)
+	}
+	s.mu.Unlock()
+	s.queue.release(j.tenant)
+	j.cancel()
+}
+
 // admit is Submit's locked section. It returns inline=true when the
 // job was admitted for synchronous point-store assembly (registered
-// in-flight but not queued); the caller must then run it.
+// in-flight and holding a tenant slot, but not queued); the caller
+// must then run or requeue it.
 func (s *Server) admit(req Request, key string, planned, covered int) (j *Job, status int, inline bool, err error) {
+	tenant := req.tenantName()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -265,7 +353,9 @@ func (s *Server) admit(req Request, key string, planned, covered int) (j *Job, s
 	}
 	s.pruneJobsLocked()
 
-	// Single-flight: identical request already queued or running.
+	// Single-flight: identical request already queued or running. The
+	// rider consumes no queue slot or tenant share — it attaches to
+	// work already admitted (possibly under another tenant).
 	if j, ok := s.inflight[key]; ok {
 		j.mu.Lock()
 		j.coalesced++
@@ -282,11 +372,20 @@ func (s *Server) admit(req Request, key string, planned, covered int) (j *Job, s
 		j.state = StateDone
 		j.result = data
 		j.finished = time.Now()
+		j.appendEventLocked(Event{Type: EventState, State: StateDone, Cached: true})
 		close(j.done)
 		j.cancel() // born terminal: release its context registration now
 		s.met.incSubmitted()
 		s.met.jobFinished(req.Experiment, StateDone, -1, false)
 		return j, http.StatusOK, false, nil
+	}
+
+	// Admission control: the job will do real work, so it needs a
+	// tenant in-flight slot — held from here until the job reaches a
+	// terminal state (released next to every jobFinished call).
+	if err := s.queue.reserve(tenant); err != nil {
+		s.met.incRejected()
+		return nil, http.StatusTooManyRequests, false, err
 	}
 	s.met.addPlan(int64(planned), int64(covered))
 
@@ -300,17 +399,17 @@ func (s *Server) admit(req Request, key string, planned, covered int) (j *Job, s
 		return j, http.StatusOK, true, nil
 	}
 
-	// Bounded queue with backpressure.
+	// Bounded, tenant-fair queue with backpressure.
 	j = s.newJobLocked(key, req, planned, covered)
-	select {
-	case s.queue <- j:
-	default:
+	if qerr := s.queue.enqueue(j); qerr != nil {
 		delete(s.jobs, j.ID)
 		s.order = s.order[:len(s.order)-1]
 		j.cancel() // never ran: release its context registration
+		s.queue.release(tenant)
 		s.met.incRejected()
-		return nil, http.StatusTooManyRequests, false, errors.New("job queue is full")
+		return nil, http.StatusTooManyRequests, false, qerr
 	}
+	j.markEnqueued()
 	s.inflight[key] = j
 	s.met.incSubmitted()
 	return j, http.StatusCreated, false, nil
@@ -325,11 +424,13 @@ func (s *Server) newJobLocked(key string, req Request, planned, covered int) *Jo
 		Key:        key,
 		Req:        req,
 		Created:    time.Now(),
+		tenant:     req.tenantName(),
 		planPoints: planned,
 		planCached: covered,
 		ctx:        ctx,
 		cancel:     cancel,
 		done:       make(chan struct{}),
+		eventWake:  make(chan struct{}),
 		state:      StateQueued,
 	}
 	s.jobs[j.ID] = j
@@ -385,6 +486,7 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 		// Finalize now; the worker skips already-terminal jobs.
 		if j.finalize(StateCanceled, nil, context.Canceled) {
 			s.forgetInflight(j)
+			s.queue.release(j.tenant)
 			s.met.jobFinished(j.Req.Experiment, StateCanceled, -1, false)
 		}
 	}
@@ -399,10 +501,18 @@ func (s *Server) forgetInflight(j *Job) {
 	s.mu.Unlock()
 }
 
-// worker drains the queue until Shutdown closes it.
+// worker drains the queue until Shutdown closes it (and the backlog
+// is popped dry).
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		if wait := j.queueWait(); wait >= 0 {
+			s.met.observeQueueWait(wait.Seconds())
+		}
 		s.runOne(j)
 	}
 }
@@ -414,6 +524,7 @@ func (s *Server) runOne(j *Job) {
 		// Cancel already finalized and accounted for the job.
 		if j.finalize(StateCanceled, nil, err) {
 			s.forgetInflight(j)
+			s.queue.release(j.tenant)
 			s.met.jobFinished(j.Req.Experiment, StateCanceled, -1, false)
 		}
 		return
@@ -450,9 +561,10 @@ func (s *Server) runOne(j *Job) {
 		j.finalize(StateFailed, nil, err)
 	}
 	s.forgetInflight(j)
+	s.queue.release(j.tenant)
 	s.met.jobFinished(j.Req.Experiment, final, seconds, true)
-	s.log.Printf("job %s %s experiment=%s points=%d elapsed=%.3fs",
-		j.ID, final, j.Req.Experiment, points, seconds)
+	s.log.Printf("job %s %s tenant=%s experiment=%s points=%d elapsed=%.3fs",
+		j.ID, final, j.tenant, j.Req.Experiment, points, seconds)
 }
 
 // runExperiment is the default job runner: it resolves the experiment
@@ -485,7 +597,7 @@ func (s *Server) runExperiment(ctx context.Context, j *Job) ([]byte, int, error)
 }
 
 // QueueDepth returns the number of queued (not yet running) jobs.
-func (s *Server) QueueDepth() int { return len(s.queue) }
+func (s *Server) QueueDepth() int { return s.queue.depth() }
 
 // PointCounters returns the point store's event counters (zero values
 // when point memoization is disabled), for metrics and benchmarks that
@@ -526,6 +638,7 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -552,6 +665,14 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += n
 	return n, err
+}
+
+// Flush forwards to the wrapped writer so the SSE endpoint still sees
+// an http.Flusher through the request-log wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Server) logged(next http.Handler) http.Handler {
@@ -609,6 +730,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	req.Tenant = r.Header.Get("X-RR-Tenant")
 	j, status, err := s.Submit(req)
 	if err != nil {
 		if status == http.StatusTooManyRequests {
@@ -665,6 +787,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		misses:      misses,
 		spills:      spills,
 		verifyFails: verifyFails,
+		tenants:     s.queue.tenantsSnapshot(),
 	}
 	if s.points != nil {
 		g.pointStore = true

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Smoke test for the rrload harness: build rrserved and rrload, boot
+# the daemon with per-tenant admission control, run a short load burst
+# with overlapping grids and two tenants, and check that the summary
+# reports latency percentiles and a JSON snapshot lands. Run via
+# `make load-smoke`.
+set -euo pipefail
+
+ADDR="${RRSERVED_ADDR:-127.0.0.1:18348}"
+CLIENTS="${RRLOAD_CLIENTS:-32}"
+DURATION="${RRLOAD_DURATION:-3s}"
+TMP="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "== building rrserved + rrload"
+go build -o "$TMP/rrserved" ./cmd/rrserved
+go build -o "$TMP/rrload" ./cmd/rrload
+
+echo "== starting rrserved on $ADDR (tenant cap 16, weights tenant0=4)"
+"$TMP/rrserved" -addr "$ADDR" -queue 128 -workers 4 \
+    -tenant-max-inflight 16 -tenant-weights tenant0=4 &
+PID=$!
+
+for i in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$PID" 2>/dev/null; then echo "rrserved died during boot" >&2; exit 1; fi
+    sleep 0.2
+done
+curl -fsS "http://$ADDR/readyz" >/dev/null
+
+echo "== running rrload: $CLIENTS clients, 50% overlap, $DURATION"
+OUT="$TMP/load.json"
+"$TMP/rrload" -addr "$ADDR" -clients "$CLIENTS" -duration "$DURATION" \
+    -overlap 0.5 -tenants 2 -label load-smoke -out "$OUT" | tee "$TMP/summary.txt"
+
+grep -q 'submit latency' "$TMP/summary.txt" || { echo "summary missing latency line" >&2; exit 1; }
+grep -q '"label": *"load-smoke"' "$OUT" || { echo "snapshot not written" >&2; exit 1; }
+grep -q '"submit_p99_ms"' "$OUT" || { echo "snapshot missing p99" >&2; exit 1; }
+
+echo "== verifying tenant metrics surfaced"
+METRICS=$(curl -fsS "http://$ADDR/metrics")
+printf '%s\n' "$METRICS" | grep -q 'rrserve_tenant_submitted_total{tenant="tenant0"}' \
+    || { echo "per-tenant counters missing" >&2; exit 1; }
+printf '%s\n' "$METRICS" | grep -q '^rrserve_submit_duration_seconds_count ' \
+    || { echo "submit-duration histogram missing" >&2; exit 1; }
+
+echo "== draining via SIGTERM"
+kill -TERM "$PID"
+WAITED=0
+while kill -0 "$PID" 2>/dev/null; do
+    sleep 0.2
+    WAITED=$((WAITED + 1))
+    [ "$WAITED" -lt 150 ] || { echo "daemon did not exit within 30s of SIGTERM" >&2; exit 1; }
+done
+wait "$PID" && RC=0 || RC=$?
+[ "$RC" -eq 0 ] || { echo "daemon exited $RC after SIGTERM" >&2; exit 1; }
+
+echo "load-smoke: OK"
