@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint-asm bench bench-json bench-smoke examples figures data serve-smoke load-smoke clean
+.PHONY: all build test test-race vet lint-asm lint-asm-sarif bench bench-json bench-smoke examples figures data serve-smoke load-smoke clean
 
 all: test
 
@@ -34,11 +34,16 @@ load-smoke:
 
 # Static-analyze every assembly routine the repo ships: the kernel
 # runtime (Figure 3 switch, load/unload), the context allocators, the
-# Multi-RRM manager stubs, and the example programs.
+# Multi-RRM manager stubs, and the example programs — in whole-program
+# interprocedural mode (call graph, routine summaries, RR4xx hazards).
 lint-asm:
-	$(GO) run ./cmd/rrcheck -kernel
-	$(GO) run ./cmd/rrcheck -ctx 8 examples/programs/fib.s
-	$(GO) run ./cmd/rrcheck -ctx 32 examples/programs/pingpong.s
+	$(GO) run ./cmd/rrcheck -kernel -interproc
+	$(GO) run ./cmd/rrcheck -interproc -ctx 8 examples/programs/fib.s
+	$(GO) run ./cmd/rrcheck -interproc -ctx 32 examples/programs/pingpong.s
+
+# Emit the whole-kernel analysis as SARIF for code scanning.
+lint-asm-sarif:
+	$(GO) run ./cmd/rrcheck -kernel -interproc -format sarif > rrcheck.sarif
 
 # Regenerate every paper figure/table as benchmarks (metrics carry the
 # efficiencies); mirrors the harness in bench_test.go.
@@ -49,7 +54,7 @@ bench:
 # trajectory file (see docs/performance.md for the format and the
 # comparison workflow). Override either: make bench-json LABEL=tuned
 LABEL ?= snapshot
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 bench-json:
 	./scripts/bench_json.sh $(LABEL) $(BENCH_OUT)
 

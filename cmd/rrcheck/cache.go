@@ -1,0 +1,83 @@
+// Result caching: repeated checks of unchanged sources are free. Keys
+// are content hashes over the analyzer schema version, the full option
+// fingerprint, and the source text — the same content-addressed scheme
+// pointstore uses — so any change to inputs or analyzer behaviour
+// (bump cacheSchema) misses cleanly instead of serving stale verdicts.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// cacheSchema versions the cache key: bump when the analyzer's output
+// for identical inputs can change.
+const cacheSchema = "rrcheck-cache-v1"
+
+// cacheEntry is a stored verdict: the rendered stdout and the exit
+// status it came with.
+type cacheEntry struct {
+	Status int    `json:"status"`
+	Stdout string `json:"stdout"`
+}
+
+// cacheKey hashes the schema version and every fingerprint part into
+// the entry's file name.
+func cacheKey(parts ...string) string {
+	h := sha256.New()
+	h.Write([]byte(cacheSchema))
+	for _, p := range parts {
+		// Length-prefix framing keeps ("ab","c") distinct from ("a","bc").
+		var n [8]byte
+		ln := len(p)
+		for i := 0; i < 8; i++ {
+			n[i] = byte(ln >> (8 * i))
+		}
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheGet loads an entry; any unreadable or corrupt file is a miss.
+func cacheGet(dir, key string) (cacheEntry, bool) {
+	data, err := os.ReadFile(filepath.Join(dir, key+".json"))
+	if err != nil {
+		return cacheEntry{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return cacheEntry{}, false
+	}
+	if e.Status != 0 && e.Status != 1 {
+		return cacheEntry{}, false
+	}
+	return e, true
+}
+
+// cachePut stores an entry via rename for atomicity; failures are
+// silent (the cache is an optimization, not a correctness layer).
+func cachePut(dir, key string, e cacheEntry) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	tmp.Close()
+	os.Rename(name, filepath.Join(dir, key+".json"))
+}

@@ -1,7 +1,8 @@
 // Command rrcheck is the static checker from paper Section 2.4, grown
 // into the driver for the flow-sensitive analyzer in
 // internal/analysis: CFG reachability, per-register liveness, the
-// context-boundary check, and LDRRM hazard detection.
+// context-boundary check, LDRRM hazard detection, and the
+// interprocedural call-graph passes.
 //
 // Usage:
 //
@@ -10,7 +11,13 @@
 //	rrcheck -ctx 16 -passes bounds,hazards file.s
 //	rrcheck -ctx 16 -format json file.s
 //	rrcheck -infer file.s                       # smallest fitting context
+//	rrcheck -interproc -infer file.s            # interprocedural requirement
+//	rrcheck -interproc -callgraph file.s        # call graph as Graphviz DOT
+//	rrcheck -interproc -routines -ctx 16 file.s # per-routine summaries
+//	rrcheck -ctx 16 -format sarif file.s        # SARIF 2.1.0 for code scanning
 //	rrcheck -kernel                             # self-check the kernel asm
+//	rrcheck -kernel -interproc -format sarif    # whole-kernel SARIF
+//	rrcheck -cache DIR -ctx 16 file.s           # content-hash result cache
 //
 // Exit status: 0 when no unsuppressed diagnostics are found, 1 when
 // any are, 2 on usage, file, or assembly errors (assembly errors are
@@ -18,10 +25,12 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"regreloc/internal/alloc"
@@ -43,11 +52,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		size       = fs.Int("size", 0, "alias for -ctx (kept for compatibility)")
 		multi      = fs.Bool("multirrm", false, "treat the operand high bit as the RRM selector")
 		infer      = fs.Bool("infer", false, "infer the smallest context the code fits in")
-		passesF    = fs.String("passes", "all", "comma-separated passes: bounds,hazards,unreachable")
-		format     = fs.String("format", "text", "output format: text or json")
+		passesF    = fs.String("passes", "all", "comma-separated passes: bounds,hazards,unreachable,interproc")
+		format     = fs.String("format", "text", "output format: text, json, or sarif")
 		delay      = fs.Int("delay", 1, "LDRRM delay slots")
 		entries    = fs.String("entry", "", "comma-separated entry labels (default: every label)")
 		kernelMode = fs.Bool("kernel", false, "self-check the embedded kernel assembly routines")
+		interproc  = fs.Bool("interproc", false, "build the call graph and routine summaries (enables RR4xx)")
+		callgraph  = fs.Bool("callgraph", false, "print the call graph as Graphviz DOT (implies -interproc)")
+		routines   = fs.Bool("routines", false, "print per-routine summaries (implies -interproc)")
+		cacheDir   = fs.String("cache", "", "directory for the content-hash result cache")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,15 +68,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *ctx == 0 {
 		*ctx = *size
 	}
+	if *callgraph || *routines {
+		*interproc = true
+	}
 
 	passes, err := parsePasses(*passesF)
 	if err != nil {
 		fmt.Fprintf(stderr, "rrcheck: %v\n", err)
 		return 2
 	}
-	if *format != "text" && *format != "json" {
+	switch *format {
+	case "text", "json", "sarif":
+	default:
 		fmt.Fprintf(stderr, "rrcheck: unknown format %q\n", *format)
 		return 2
+	}
+
+	// Every option that shapes output takes part in the cache key.
+	fingerprint := []string{
+		strconv.Itoa(*ctx), strconv.FormatBool(*multi), strconv.FormatBool(*infer),
+		*passesF, *format, strconv.Itoa(*delay), *entries,
+		strconv.FormatBool(*kernelMode), strconv.FormatBool(*interproc),
+		strconv.FormatBool(*callgraph), strconv.FormatBool(*routines),
 	}
 
 	if *kernelMode {
@@ -71,10 +97,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fs.Usage()
 			return 2
 		}
-		return runKernel(passes, *format, *delay, stdout, stderr)
+		for _, t := range kernel.LintTargets() {
+			fingerprint = append(fingerprint, t.Name, t.Source, strconv.Itoa(t.ContextSize))
+		}
+		return withCache(*cacheDir, stdout, fingerprint, func(w io.Writer) int {
+			return runKernel(passes, *format, *delay, *interproc, *routines, w, stderr)
+		})
 	}
 
-	if fs.NArg() != 1 || (*ctx == 0 && !*infer) {
+	if fs.NArg() != 1 || (*ctx == 0 && !*infer && !*callgraph && !*routines) {
 		fs.Usage()
 		return 2
 	}
@@ -84,39 +115,89 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	src := string(data)
+	fingerprint = append(fingerprint, src)
 
 	opts := analysis.Options{
-		ContextSize: *ctx,
-		MultiRRM:    *multi,
-		DelaySlots:  *delay,
-		Passes:      passes,
+		ContextSize:     *ctx,
+		MultiRRM:        *multi,
+		DelaySlots:      *delay,
+		Passes:          passes,
+		Interprocedural: *interproc,
 	}
+	return withCache(*cacheDir, stdout, fingerprint, func(w io.Writer) int {
+		return runFile(src, fs.Arg(0), opts, *infer, *callgraph, *routines, *format, *entries, w, stderr)
+	})
+}
+
+// withCache consults the content-hash cache when enabled, otherwise
+// runs exec directly. Only clean verdicts (status 0/1) are cached;
+// status 2 paths write to stderr, which the cache does not capture.
+func withCache(dir string, stdout io.Writer, fingerprint []string, exec func(io.Writer) int) int {
+	if dir == "" {
+		return exec(stdout)
+	}
+	key := cacheKey(fingerprint...)
+	if e, ok := cacheGet(dir, key); ok {
+		io.WriteString(stdout, e.Stdout)
+		return e.Status
+	}
+	var buf bytes.Buffer
+	status := exec(&buf)
+	io.WriteString(stdout, buf.String())
+	if status == 0 || status == 1 {
+		cachePut(dir, key, cacheEntry{Status: status, Stdout: buf.String()})
+	}
+	return status
+}
+
+// runFile analyzes one source file and renders the selected output.
+func runFile(src, uri string, opts analysis.Options, infer, callgraph, routines bool,
+	format, entries string, stdout, stderr io.Writer) int {
+
 	res, err := analysis.AnalyzeSource(src, opts)
 	if err != nil {
 		// Assembly errors carry their source line (asm: line N: ...).
 		fmt.Fprintf(stderr, "rrcheck: %v\n", err)
 		return 2
 	}
-	if *entries != "" {
-		res, err = analyzeWithEntries(src, opts, *entries)
+	if entries != "" {
+		res, err = analyzeWithEntries(src, opts, entries)
 		if err != nil {
 			fmt.Fprintf(stderr, "rrcheck: %v\n", err)
 			return 2
 		}
 	}
 
-	if *infer {
-		n := res.Requirement()
+	if infer {
+		n := res.InferredRequirement()
 		fmt.Fprintf(stdout, "highest register used: r%d (requirement C = %d, context size %d)\n",
 			n-1, n, alloc.RoundContextSize(n, 4, 64))
-		if *ctx == 0 {
+		if opts.ContextSize == 0 && !callgraph && !routines {
 			return 0
 		}
 	}
 
-	switch *format {
+	if callgraph {
+		fmt.Fprint(stdout, res.CallGraphDOT())
+		if len(res.Diags) > 0 {
+			return 1
+		}
+		return 0
+	}
+	if routines {
+		printRoutines(stdout, "", res)
+	}
+
+	switch format {
 	case "json":
 		out, err := res.JSON()
+		if err != nil {
+			fmt.Fprintf(stderr, "rrcheck: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s\n", out)
+	case "sarif":
+		out, err := analysis.SARIF([]analysis.SARIFInput{{URI: uri, Result: res}})
 		if err != nil {
 			fmt.Fprintf(stderr, "rrcheck: %v\n", err)
 			return 2
@@ -129,6 +210,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// printRoutines renders the interprocedural summaries, one line per
+// routine, prefixed when part of a multi-target run.
+func printRoutines(w io.Writer, prefix string, res *analysis.Result) {
+	for _, rt := range res.Routines() {
+		ret := "returns"
+		if !rt.Returns {
+			ret = "noreturn"
+		}
+		extra := ""
+		if rt.Unresolved {
+			extra = " unresolved-call"
+		}
+		fmt.Fprintf(w, "%sroutine %s @%d: C = %d (local %d), %d words, %s, live-in %v%s\n",
+			prefix, rt.Name, rt.Entry, rt.Requirement, rt.LocalRequirement,
+			rt.Size, ret, rt.LiveIn, extra)
+	}
 }
 
 // analyzeWithEntries re-analyzes with explicit CFG roots resolved from
@@ -150,15 +249,21 @@ func analyzeWithEntries(src string, opts analysis.Options, labels string) (*anal
 }
 
 // runKernel self-applies the analyzer to every embedded kernel
-// assembly routine group at the context size each must satisfy.
-func runKernel(passes analysis.Pass, format string, delay int, stdout, stderr io.Writer) int {
+// assembly routine group at the context size each must satisfy. With
+// -format sarif the targets merge into one SARIF log whose artifact
+// URIs name the embedded routine groups.
+func runKernel(passes analysis.Pass, format string, delay int, interproc, routines bool,
+	stdout, stderr io.Writer) int {
+
 	status := 0
+	var inputs []analysis.SARIFInput
 	for _, t := range kernel.LintTargets() {
 		res, err := analysis.AnalyzeSource(t.Source, analysis.Options{
-			ContextSize: t.ContextSize,
-			MultiRRM:    t.MultiRRM,
-			DelaySlots:  delay,
-			Passes:      passes,
+			ContextSize:     t.ContextSize,
+			MultiRRM:        t.MultiRRM,
+			DelaySlots:      delay,
+			Passes:          passes,
+			Interprocedural: interproc,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "rrcheck: %s: %v\n", t.Name, err)
@@ -172,8 +277,13 @@ func runKernel(passes analysis.Pass, format string, delay int, stdout, stderr io
 				return 2
 			}
 			fmt.Fprintf(stdout, "%s\n", out)
+		case "sarif":
+			inputs = append(inputs, analysis.SARIFInput{URI: "kernel/" + t.Name + ".s", Result: res})
 		default:
 			fmt.Fprintf(stdout, "%s: %s\n", t.Name, res.Summary())
+			if routines {
+				printRoutines(stdout, t.Name+": ", res)
+			}
 			for _, d := range res.Diags {
 				fmt.Fprintf(stdout, "%s: %s\n", t.Name, d)
 			}
@@ -181,6 +291,14 @@ func runKernel(passes analysis.Pass, format string, delay int, stdout, stderr io
 		if len(res.Diags) > 0 {
 			status = 1
 		}
+	}
+	if format == "sarif" {
+		out, err := analysis.SARIF(inputs)
+		if err != nil {
+			fmt.Fprintf(stderr, "rrcheck: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s\n", out)
 	}
 	return status
 }

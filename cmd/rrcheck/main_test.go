@@ -199,3 +199,147 @@ func TestUsageErrors(t *testing.T) {
 		t.Errorf("stderr = %q", errOut.String())
 	}
 }
+
+const callerCalleeSrc = `main:
+	movi r4, 1
+	jal r5, stop
+	movi r30, 7
+	halt
+stop:
+	halt
+`
+
+func TestInterprocInfer(t *testing.T) {
+	path := writeTemp(t, callerCalleeSrc)
+	var out, errOut strings.Builder
+	if code := run([]string{"-interproc", "-infer", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "C = 6") {
+		t.Errorf("output = %q, want interprocedural C = 6", out.String())
+	}
+	// Without -interproc the flat fall-through keeps r30 live: C = 31.
+	out.Reset()
+	if code := run([]string{"-infer", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "C = 31") {
+		t.Errorf("output = %q, want intraprocedural C = 31", out.String())
+	}
+}
+
+func TestCallgraphFlag(t *testing.T) {
+	path := writeTemp(t, callerCalleeSrc)
+	var out, errOut strings.Builder
+	if code := run([]string{"-callgraph", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	dot := out.String()
+	for _, want := range []string{"digraph callgraph", `"main" -> "stop"`, "noreturn"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestRoutinesFlag(t *testing.T) {
+	path := writeTemp(t, callerCalleeSrc)
+	var out, errOut strings.Builder
+	if code := run([]string{"-routines", "-ctx", "32", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "routine main @0: C = 6") {
+		t.Errorf("output = %q", out.String())
+	}
+	if !strings.Contains(out.String(), "routine stop @4") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestSARIFFormat(t *testing.T) {
+	path := writeTemp(t, "add r9, r1, r1\nhalt\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-ctx", "8", "-format", "sarif", path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+				Level  string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("invalid SARIF: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("log = %+v", log)
+	}
+	if log.Runs[0].Tool.Driver.Name != "rrcheck" {
+		t.Errorf("driver = %q", log.Runs[0].Tool.Driver.Name)
+	}
+	if len(log.Runs[0].Results) == 0 || log.Runs[0].Results[0].RuleID != "RR101" ||
+		log.Runs[0].Results[0].Level != "error" {
+		t.Errorf("results = %+v", log.Runs[0].Results)
+	}
+}
+
+func TestKernelSARIF(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-kernel", "-interproc", "-format", "sarif"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), `"version": "2.1.0"`) {
+		t.Errorf("output = %q", out.String())
+	}
+	// Suppressed intentional hazards surface as inSource suppressions,
+	// not as new findings.
+	if !strings.Contains(out.String(), `"inSource"`) {
+		t.Errorf("kernel SARIF carries no inSource suppressions:\n%s", out.String())
+	}
+}
+
+func TestResultCache(t *testing.T) {
+	path := writeTemp(t, "add r9, r1, r1\nhalt\n")
+	dir := t.TempDir()
+	var out1, out2, errOut strings.Builder
+	if code := run([]string{"-ctx", "8", "-cache", dir, path}, &out1, &errOut); code != 1 {
+		t.Fatalf("first run exit %d", code)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache dir entries = %v, err %v", entries, err)
+	}
+	if code := run([]string{"-ctx", "8", "-cache", dir, path}, &out2, &errOut); code != 1 {
+		t.Fatalf("cached run exit %d", code)
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("cached output differs:\n%q\nvs\n%q", out1.String(), out2.String())
+	}
+	// A different context size must miss (option fingerprint in key).
+	var out3 strings.Builder
+	if code := run([]string{"-ctx", "16", "-cache", dir, path}, &out3, &errOut); code != 0 {
+		t.Fatalf("ctx 16 exit %d", code)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 2 {
+		t.Errorf("cache entries = %d, want 2", len(entries))
+	}
+	// Corrupt entries are misses, not failures.
+	for _, e := range entries {
+		os.WriteFile(filepath.Join(dir, e.Name()), []byte("not json"), 0o644)
+	}
+	var out4 strings.Builder
+	if code := run([]string{"-ctx", "8", "-cache", dir, path}, &out4, &errOut); code != 1 {
+		t.Fatalf("corrupt-cache run exit %d", code)
+	}
+}

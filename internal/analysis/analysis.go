@@ -86,6 +86,21 @@ const (
 	// CodeUnreachable: the flat fallback scan found an out-of-context
 	// operand in an unreachable word (dead code or data shadow).
 	CodeUnreachable = "RR301"
+	// CodeCallIntoSlot: a call (jal, or a jalr with a statically
+	// resolved target) lands inside an LDRRM/LDRRM2 delay slot, so the
+	// callee starts under a path-dependent relocation mask.
+	CodeCallIntoSlot = "RR401"
+	// CodeClobberedAcrossCall: a register live across a call site may
+	// be written by the callee (registers are context-relative shared
+	// state — this ISA has no callee-save convention).
+	CodeClobberedAcrossCall = "RR402"
+	// CodeCalleeRequirement: a callee's inferred interprocedural
+	// register requirement exceeds the caller's declared context size.
+	CodeCalleeRequirement = "RR403"
+	// CodeUnresolvedCall: a jalr target could not be resolved by
+	// constant tracking; the analyzer assumes a worst-case callee
+	// summary and says so instead of silently tightening nothing.
+	CodeUnresolvedCall = "RR404"
 )
 
 // Diagnostic is one analyzer finding.
@@ -132,8 +147,12 @@ const (
 	// PassUnreachable is the flat fallback scan over unreachable words
 	// (RR301) — the old internal/check behaviour, demoted to Info.
 	PassUnreachable
+	// PassInterproc is the interprocedural hazard family (RR401-RR404).
+	// It only fires when Options.Interprocedural builds the call-graph
+	// summaries it needs.
+	PassInterproc
 	// PassAll runs everything.
-	PassAll = PassBounds | PassHazards | PassUnreachable
+	PassAll = PassBounds | PassHazards | PassUnreachable | PassInterproc
 )
 
 // PassByName maps the driver's -passes names to Pass bits.
@@ -141,6 +160,7 @@ var PassByName = map[string]Pass{
 	"bounds":      PassBounds,
 	"hazards":     PassHazards,
 	"unreachable": PassUnreachable,
+	"interproc":   PassInterproc,
 	"all":         PassAll,
 }
 
@@ -176,6 +196,13 @@ type Options struct {
 	// R0-R3 (PC, PSW, NextRRM, save pointer), whose values the kernel
 	// reads behind the thread's back.
 	IndirectLive []int
+	// Interprocedural builds a call graph over the range (direct jal
+	// targets; jalr/jmp resolved by constant tracking where possible),
+	// computes per-routine liveness/requirement summaries to a
+	// fixpoint, and enables the RR4xx pass plus the Routines /
+	// InferredRequirement / CallGraphDOT accessors. Existing passes
+	// and Requirement() are unaffected.
+	Interprocedural bool
 }
 
 func (o Options) withDefaults(p *asm.Program) Options {
@@ -204,11 +231,12 @@ type Result struct {
 	// Suppressed are diagnostics silenced by lint:ignore directives.
 	Suppressed []Diagnostic
 
-	prog *asm.Program
-	opts Options
-	cfg  *cfg
-	live *liveness
-	req  int
+	prog  *asm.Program
+	opts  Options
+	cfg   *cfg
+	live  *liveness
+	req   int
+	inter *interproc
 }
 
 // Analyze runs the analyzer over an assembled program.
@@ -227,6 +255,12 @@ func Analyze(p *asm.Program, opts Options) *Result {
 	}
 	if opts.Passes&PassUnreachable != 0 {
 		r.unreachablePass()
+	}
+	if opts.Interprocedural {
+		r.inter = computeInterproc(r)
+		if opts.Passes&PassInterproc != 0 {
+			r.interPass()
+		}
 	}
 
 	sort.SliceStable(r.Diags, func(i, j int) bool {

@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"regreloc/internal/analysis"
+	"regreloc/internal/asm"
+	"regreloc/internal/kernel"
+)
+
+// BenchmarkAnalyze measures analyzer throughput (instructions per
+// second) over the largest kernel target — the runtime with its full
+// load/unload ladders — in intraprocedural and interprocedural modes,
+// so the cost of the call-graph fixpoint stays visible in the
+// benchmark trajectory.
+func BenchmarkAnalyze(b *testing.B) {
+	var target kernel.LintTarget
+	for _, t := range kernel.LintTargets() {
+		if t.Name == "runtime" {
+			target = t
+		}
+	}
+	if target.Source == "" {
+		b.Fatal("runtime lint target not found")
+	}
+	p, err := asm.Assemble(target.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, mode := range []struct {
+		name  string
+		inter bool
+	}{
+		{"intra", false},
+		{"interproc", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := analysis.Options{
+				ContextSize:     target.ContextSize,
+				Interprocedural: mode.inter,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				analysis.Analyze(p, opts)
+			}
+			b.ReportMetric(
+				float64(len(p.Words))*float64(b.N)/b.Elapsed().Seconds(),
+				"instrs/s")
+		})
+	}
+}

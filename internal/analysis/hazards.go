@@ -70,56 +70,23 @@ func (r *Result) delaySlotChecks() {
 // denote overlapping register ranges. LDRRM2's packed encoding
 // depends on the machine's RRM width, so its constants are skipped.
 func (r *Result) rrmConstantChecks() {
-	c := r.cfg
 	type maskUse struct{ addr, mask int }
 	var masks []maskUse
-	consts := map[int]int64{}
 
-	for a := r.opts.Start; a < r.opts.End; a++ {
-		if !c.reachableCode(a) {
-			if !c.reachable(a) || c.kindAt(a) == kindData {
-				consts = map[int]int64{} // gap: restart tracking
-			}
-			continue
+	trackConstants(r.cfg, r.opts.Start, r.opts.End, func(a int, in isa.Instr, consts map[int]int64) {
+		if in.Op != isa.LDRRM {
+			return
 		}
-		if c.isLeader(a) {
-			// Join point or entry: values depend on the incoming path.
-			consts = map[int]int64{}
+		if v, ok := consts[in.Rs1]; ok {
+			mask := int(v)
+			if r.opts.ContextSize > 0 && mask%r.opts.ContextSize != 0 {
+				r.report(CodeUnalignedRRM, Error, a,
+					"ldrrm mask %d is not aligned to the %d-register context size",
+					mask, r.opts.ContextSize)
+			}
+			masks = append(masks, maskUse{addr: a, mask: mask})
 		}
-		in := c.instrAt(a)
-		switch in.Op {
-		case isa.LDRRM:
-			if v, ok := consts[in.Rs1]; ok {
-				mask := int(v)
-				if r.opts.ContextSize > 0 && mask%r.opts.ContextSize != 0 {
-					r.report(CodeUnalignedRRM, Error, a,
-						"ldrrm mask %d is not aligned to the %d-register context size",
-						mask, r.opts.ContextSize)
-				}
-				masks = append(masks, maskUse{addr: a, mask: mask})
-			}
-		case isa.MOVI:
-			consts[in.Rd] = int64(in.Imm)
-		case isa.LUI:
-			consts[in.Rd] = int64(in.Imm) << 12
-		case isa.ORI:
-			if v, ok := consts[in.Rs1]; ok {
-				consts[in.Rd] = v | int64(uint32(in.Imm))
-			} else {
-				delete(consts, in.Rd)
-			}
-		case isa.ADDI:
-			if v, ok := consts[in.Rs1]; ok {
-				consts[in.Rd] = v + int64(in.Imm)
-			} else {
-				delete(consts, in.Rd)
-			}
-		default:
-			if _, _, _, writesRd := isa.RegisterFields(in.Op); writesRd {
-				delete(consts, in.Rd)
-			}
-		}
-	}
+	})
 
 	if r.opts.ContextSize < 1 || len(masks) < 2 {
 		return

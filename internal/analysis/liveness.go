@@ -13,6 +13,23 @@ type liveness struct {
 
 func bit(r int) uint64 { return 1 << uint(r) }
 
+// indirectMask returns the bitset of registers conservatively assumed
+// live at indirect transfers and FAULT traps (Options.IndirectLive,
+// defaulting to the runtime-reserved R0-R3).
+func indirectMask(opts Options) uint64 {
+	var m uint64
+	if opts.IndirectLive == nil {
+		for r := 0; r < 4; r++ {
+			m |= bit(r)
+		}
+		return m
+	}
+	for _, r := range opts.IndirectLive {
+		m |= bit(r)
+	}
+	return m
+}
+
 // useDef returns the registers an instruction reads and writes, from
 // the ISA's fixed-field semantics (stores and branches read rd).
 func useDef(in isa.Instr) (use, def uint64) {
@@ -56,17 +73,7 @@ func (l *liveness) liveOut(c *cfg, addr int) uint64 {
 func computeLiveness(c *cfg, opts Options) *liveness {
 	n := c.end - c.start
 	l := &liveness{start: c.start, in: make([]uint64, n), out: make([]uint64, n)}
-
-	indirect := uint64(0)
-	if opts.IndirectLive == nil {
-		for r := 0; r < 4; r++ {
-			indirect |= bit(r)
-		}
-	} else {
-		for _, r := range opts.IndirectLive {
-			indirect |= bit(r)
-		}
-	}
+	indirect := indirectMask(opts)
 
 	for changed := true; changed; {
 		changed = false

@@ -1,0 +1,169 @@
+package analysis
+
+import "encoding/json"
+
+// codeDescriptions gives each stable diagnostic code the short
+// description SARIF rules carry.
+var codeDescriptions = map[string]string{
+	CodeOutOfContext:        "register operand outside the declared context",
+	CodeFlowIntoData:        "control flow reaches a .word data word",
+	CodeDelaySlotRead:       "register read in an LDRRM delay slot observes the old context",
+	CodeBranchIntoSlot:      "branch into an LDRRM delay slot makes the active mask path-dependent",
+	CodeDelaySlotWrite:      "register written in a delay slot lands in the old context but is read after the switch",
+	CodeUnalignedRRM:        "LDRRM mask not aligned to the context size",
+	CodeOverlappingRRM:      "LDRRM masks select overlapping contexts",
+	CodeUnpairedPSW:         "unpaired PSW save/restore around a context switch",
+	CodeUnreachable:         "out-of-context operand in unreachable code (flat scan)",
+	CodeCallIntoSlot:        "call target inside an LDRRM delay slot",
+	CodeClobberedAcrossCall: "register live across a call may be clobbered by the callee",
+	CodeCalleeRequirement:   "callee requirement exceeds the declared context size",
+	CodeUnresolvedCall:      "unresolvable jalr target forces a worst-case callee summary",
+}
+
+// sarifCodes is the stable rule order.
+var sarifCodes = []string{
+	CodeOutOfContext, CodeFlowIntoData,
+	CodeDelaySlotRead, CodeBranchIntoSlot, CodeDelaySlotWrite,
+	CodeUnalignedRRM, CodeOverlappingRRM, CodeUnpairedPSW,
+	CodeUnreachable,
+	CodeCallIntoSlot, CodeClobberedAcrossCall, CodeCalleeRequirement,
+	CodeUnresolvedCall,
+}
+
+// SARIFInput pairs one analysis result with the artifact URI its
+// diagnostics should be attributed to.
+type SARIFInput struct {
+	URI    string
+	Result *Result
+}
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription sarifMultiformat  `json:"shortDescription"`
+	Properties       map[string]string `json:"properties,omitempty"`
+}
+
+type sarifMultiformat struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifMultiformat   `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+type sarifSuppression struct {
+	Kind string `json:"kind"`
+}
+
+func sarifLevel(s Severity) string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// SARIF renders one or more analysis results as a SARIF 2.1.0 log
+// (one run, one rrcheck driver), the format GitHub code scanning
+// ingests. Suppressed diagnostics are emitted with an inSource
+// suppression so dashboards show them as reviewed, not as new
+// findings.
+func SARIF(inputs []SARIFInput) ([]byte, error) {
+	ruleIndex := map[string]int{}
+	rules := make([]sarifRule, 0, len(sarifCodes))
+	for i, code := range sarifCodes {
+		ruleIndex[code] = i
+		rules = append(rules, sarifRule{
+			ID:               code,
+			ShortDescription: sarifMultiformat{Text: codeDescriptions[code]},
+		})
+	}
+
+	results := []sarifResult{}
+	add := func(uri string, d Diagnostic, suppressed bool) {
+		line := d.Line
+		if line < 1 {
+			line = 1 // SARIF regions are 1-based even without a source map
+		}
+		res := sarifResult{
+			RuleID:    d.Code,
+			RuleIndex: ruleIndex[d.Code],
+			Level:     sarifLevel(d.Severity),
+			Message:   sarifMultiformat{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: uri},
+					Region:           sarifRegion{StartLine: line},
+				},
+			}},
+		}
+		if suppressed {
+			res.Suppressions = []sarifSuppression{{Kind: "inSource"}}
+		}
+		results = append(results, res)
+	}
+	for _, in := range inputs {
+		for _, d := range in.Result.Diags {
+			add(in.URI, d, false)
+		}
+		for _, d := range in.Result.Suppressed {
+			add(in.URI, d, true)
+		}
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "rrcheck", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

@@ -153,6 +153,42 @@ func VerifyFunction(f Function, p *asm.Program, start, end, reserved int) error 
 	return nil
 }
 
+// InferredRegisters measures a function body's interprocedural
+// register requirement: the whole-program analyzer's per-routine
+// summaries make it at most the flow-sensitive Requirement, and
+// strictly smaller when a callee that never returns keeps post-call
+// code dead.
+func InferredRegisters(p *asm.Program, start, end int) int {
+	res := analysis.Analyze(p, analysis.Options{
+		Start: start, End: end,
+		Passes:          analysis.PassBounds,
+		Interprocedural: true,
+	})
+	return res.InferredRequirement()
+}
+
+// SizeFunction is VerifyFunction's inferred-sizing mode: instead of
+// only rejecting declarations below the measured requirement, it
+// returns the register budget to use. A declaration below the
+// interprocedural requirement is still a DeclaredMismatchError; with
+// shrink set, a declaration above it is reduced to the inferred value
+// (never below reserved), closing the paper's loop where the
+// compiler, not the declaration, decides the context size.
+func SizeFunction(f Function, p *asm.Program, start, end, reserved int, shrink bool) (int, error) {
+	inferred := InferredRegisters(p, start, end)
+	if inferred < reserved {
+		inferred = reserved
+	}
+	declared := f.Live + f.Scratch + reserved
+	if inferred > declared {
+		return 0, &DeclaredMismatchError{Name: f.Name, Declared: declared, Measured: inferred}
+	}
+	if shrink {
+		return inferred, nil
+	}
+	return declared, nil
+}
+
 // LinkRequirements merges per-module register requirements for the
 // same thread entry (separate compilation, Section 2.4: "the compiler
 // will need to provide this information to the linker"): the linked

@@ -53,3 +53,48 @@ func TestRequirementMatchesDeclared(t *testing.T) {
 		t.Fatalf("declared %d rejected: %v", declared, err)
 	}
 }
+
+func TestInferredRegistersTightens(t *testing.T) {
+	// The helper halts, so the post-call movi r30 is interprocedurally
+	// dead: the inferred requirement drops from 31 to 6.
+	p := asm.MustAssemble(`main:
+	movi r4, 1
+	jal r5, stop
+	movi r30, 7
+	halt
+stop:
+	halt
+`)
+	if got := InferredRegisters(p, 0, 0); got != 6 {
+		t.Errorf("InferredRegisters = %d, want 6", got)
+	}
+}
+
+func TestSizeFunctionShrinks(t *testing.T) {
+	p := asm.MustAssemble("add r6, r4, r5\nhalt\n")
+	f := Function{Name: "leaf", Live: 10, Scratch: 4} // over-declared: 4+14=18
+	size, err := SizeFunction(f, p, 0, 0, 4, true)
+	if err != nil {
+		t.Fatalf("SizeFunction: %v", err)
+	}
+	if size != 7 {
+		t.Errorf("shrunk size = %d, want 7", size)
+	}
+	size, err = SizeFunction(f, p, 0, 0, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 18 {
+		t.Errorf("unshrunk size = %d, want the declared 18", size)
+	}
+}
+
+func TestSizeFunctionRejectsUndersized(t *testing.T) {
+	p := asm.MustAssemble("add r9, r4, r5\nhalt\n")
+	f := Function{Name: "leaf", Live: 2, Scratch: 1}
+	_, err := SizeFunction(f, p, 0, 0, 4, true)
+	var mismatch *DeclaredMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("err = %v, want DeclaredMismatchError", err)
+	}
+}

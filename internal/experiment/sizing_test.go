@@ -1,0 +1,67 @@
+package experiment
+
+import "testing"
+
+func TestContextSizingRunsEndToEnd(t *testing.T) {
+	e, ok := Get("context-sizing")
+	if !ok {
+		t.Fatal("context-sizing not registered")
+	}
+	r := e.Run(7, Quick)
+	if r.Err != nil {
+		t.Fatalf("run: %v", r.Err)
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("no points")
+	}
+	panels := r.Panels()
+	if len(panels) != 2 || panels[0] != "resident" || panels[1] != "utilization" {
+		t.Fatalf("panels = %v", panels)
+	}
+}
+
+func TestContextSizingInferredDominates(t *testing.T) {
+	e, _ := Get("context-sizing")
+	r := e.Run(7, Quick)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	strictly := false
+	for _, f := range []int{64, 128, 192, 256} {
+		d, ok1 := r.Find("resident", "declared", 0, f)
+		i, ok2 := r.Find("resident", "inferred", 0, f)
+		if !ok1 || !ok2 {
+			t.Fatalf("missing resident points for F=%d", f)
+		}
+		if i.Eff < d.Eff {
+			t.Errorf("F=%d: inferred residency %.0f < declared %.0f", f, i.Eff, d.Eff)
+		}
+		if i.Eff > d.Eff {
+			strictly = true
+		}
+		du, ok1 := r.Find("utilization", "declared", 16, f)
+		iu, ok2 := r.Find("utilization", "inferred", 16, f)
+		if !ok1 || !ok2 {
+			t.Fatalf("missing utilization points for F=%d", f)
+		}
+		if iu.Eff < du.Eff {
+			t.Errorf("F=%d: inferred utilization %.3f < declared %.3f", f, iu.Eff, du.Eff)
+		}
+	}
+	if !strictly {
+		t.Error("inferred sizing never packed strictly more residents than declared")
+	}
+}
+
+func TestContextSizingDeterministic(t *testing.T) {
+	e, _ := Get("context-sizing")
+	a, b := e.Run(7, Quick), e.Run(7, Quick)
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}

@@ -197,13 +197,7 @@ func (k *Kernel) LoadUser(src string) (*asm.Program, error) {
 // unaligned relocation mask — is found. lint:ignore directives in the
 // user source suppress intentional hazards.
 func (k *Kernel) LoadUserChecked(src string, ctxSize int) (*asm.Program, error) {
-	combined := fmt.Sprintf("%s\n.org %d\n%s", RuntimeSource(), UserBase, src)
-	res, err := analysis.AnalyzeSource(combined, analysis.Options{
-		ContextSize: ctxSize,
-		Start:       UserBase,
-		MultiRRM:    k.M.Config().MultiRRM,
-		DelaySlots:  k.M.Config().LDRRMDelaySlots,
-	})
+	res, err := k.analyzeUser(src, ctxSize, false)
 	if err != nil {
 		return nil, err
 	}
@@ -217,6 +211,73 @@ func (k *Kernel) LoadUserChecked(src string, ctxSize int) (*asm.Program, error) 
 		}
 	}
 	return k.LoadUser(src)
+}
+
+// analyzeUser runs the static analyzer over the user region of the
+// combined runtime+user image, with the machine's relocation
+// configuration applied.
+func (k *Kernel) analyzeUser(src string, ctxSize int, interproc bool) (*analysis.Result, error) {
+	combined := fmt.Sprintf("%s\n.org %d\n%s", RuntimeSource(), UserBase, src)
+	return analysis.AnalyzeSource(combined, analysis.Options{
+		ContextSize:     ctxSize,
+		Start:           UserBase,
+		MultiRRM:        k.M.Config().MultiRRM,
+		DelaySlots:      k.M.Config().LDRRMDelaySlots,
+		Interprocedural: interproc,
+	})
+}
+
+// InferUserRequirement returns the interprocedural register
+// requirement of user code: the smallest context the analyzer proves
+// sufficient, never below NumReserved since the runtime reads R0-R3
+// behind the thread's back.
+func (k *Kernel) InferUserRequirement(src string) (int, error) {
+	res, err := k.analyzeUser(src, 0, true)
+	if err != nil {
+		return 0, err
+	}
+	req := res.InferredRequirement()
+	if req < NumReserved {
+		req = NumReserved
+	}
+	return req, nil
+}
+
+// LoadUserInferred is the analysis-driven sizing mode of
+// LoadUserChecked (the paper's thesis closed into a loop: software
+// decides context sizes, and here the deciding software is the
+// analyzer). The declared size is checked against the interprocedural
+// requirement: declared < inferred is rejected, and with shrink set a
+// declared size larger than needed is reduced to the inferred one so
+// more contexts fit the register file. It returns the loaded image
+// and the context size to spawn the thread with.
+func (k *Kernel) LoadUserInferred(src string, declared int, shrink bool) (*asm.Program, int, error) {
+	res, err := k.analyzeUser(src, declared, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	inferred := res.InferredRequirement()
+	if inferred < NumReserved {
+		inferred = NumReserved
+	}
+	if declared < inferred {
+		return nil, 0, fmt.Errorf("kernel: declared context of %d registers is below the inferred requirement of %d",
+			declared, inferred)
+	}
+	for _, d := range res.Diags {
+		if d.Severity == analysis.Error {
+			return nil, 0, fmt.Errorf("kernel: user code rejected: %s", d)
+		}
+	}
+	size := declared
+	if shrink {
+		size = inferred
+	}
+	p, err := k.LoadUser(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, size, nil
 }
 
 // YieldAddr returns the address of the yield routine.

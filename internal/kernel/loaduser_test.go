@@ -75,3 +75,65 @@ func TestLintTargetsCoverage(t *testing.T) {
 		}
 	}
 }
+
+func TestInferUserRequirement(t *testing.T) {
+	k := newKernel(t)
+	// Post-call code after a halting helper stays dead, so the inferred
+	// requirement ignores its high register.
+	src := `user:
+	movi r4, 5
+	jal r5, stop
+	movi r30, 7
+	halt
+stop:
+	halt
+`
+	req, err := k.InferUserRequirement(src)
+	if err != nil {
+		t.Fatalf("InferUserRequirement: %v", err)
+	}
+	if req != 6 {
+		t.Errorf("inferred requirement = %d, want 6", req)
+	}
+}
+
+func TestInferUserRequirementFloor(t *testing.T) {
+	k := newKernel(t)
+	req, err := k.InferUserRequirement("user:\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req != NumReserved {
+		t.Errorf("inferred requirement = %d, want the NumReserved floor %d", req, NumReserved)
+	}
+}
+
+func TestLoadUserInferredRejectsUndersizedDeclaration(t *testing.T) {
+	k := newKernel(t)
+	_, _, err := k.LoadUserInferred("user:\nmovi r9, 1\nhalt\n", 8, false)
+	if err == nil || !strings.Contains(err.Error(), "inferred requirement") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadUserInferredShrinks(t *testing.T) {
+	k := newKernel(t)
+	p, size, err := k.LoadUserInferred("user:\nmovi r4, 5\nadd r5, r4, r4\nhalt\n", 32, true)
+	if err != nil {
+		t.Fatalf("LoadUserInferred: %v", err)
+	}
+	if size != 6 {
+		t.Errorf("shrunk size = %d, want 6", size)
+	}
+	if _, ok := p.Symbols["user"]; !ok {
+		t.Error("combined image missing user symbol")
+	}
+	// Without shrink the declared size is kept.
+	_, size, err = k.LoadUserInferred("user:\nmovi r4, 5\nhalt\n", 32, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 32 {
+		t.Errorf("declared size = %d, want 32", size)
+	}
+}

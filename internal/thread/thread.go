@@ -134,6 +134,38 @@ func (t *Thread) ValidateProgram(p *asm.Program, start, end int) error {
 	return nil
 }
 
+// SizeProgram is ValidateProgram's inferred-sizing mode: the
+// interprocedural analyzer decides C. A declared t.Regs below the
+// inferred requirement is rejected; with shrink set, an over-declared
+// t.Regs is reduced to the inferred requirement (never below the 4
+// runtime-reserved registers), so load/unload cost and the context
+// footprint track what the code can actually touch.
+func (t *Thread) SizeProgram(p *asm.Program, start, end int, shrink bool) error {
+	res := analysis.Analyze(p, analysis.Options{
+		ContextSize: t.Regs,
+		Start:       start, End: end,
+		Passes:          analysis.PassBounds,
+		Interprocedural: true,
+	})
+	inferred := res.InferredRequirement()
+	if inferred < 4 {
+		inferred = 4
+	}
+	if inferred > t.Regs {
+		return fmt.Errorf("thread %d: code requires %d registers but declares C=%d",
+			t.ID, inferred, t.Regs)
+	}
+	for _, d := range res.Diags {
+		if d.Severity == analysis.Error {
+			return fmt.Errorf("thread %d: %s", t.ID, d)
+		}
+	}
+	if shrink {
+		t.Regs = inferred
+	}
+	return nil
+}
+
 // Resident reports whether the thread currently holds a context.
 func (t *Thread) Resident() bool {
 	return t.State == ReadyResident || t.State == BlockedResident

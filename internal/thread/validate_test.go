@@ -54,3 +54,48 @@ func TestValidateProgramWindow(t *testing.T) {
 		t.Fatal("A's code accepted against B's declaration")
 	}
 }
+
+func TestSizeProgramShrinks(t *testing.T) {
+	th := New(0, 32, 100)
+	p := asm.MustAssemble("movi r4, 5\nadd r5, r4, r4\nhalt\n")
+	if err := th.SizeProgram(p, 0, 0, true); err != nil {
+		t.Fatalf("SizeProgram: %v", err)
+	}
+	if th.Regs != 6 {
+		t.Errorf("shrunk Regs = %d, want 6", th.Regs)
+	}
+}
+
+func TestSizeProgramKeepsDeclarationWithoutShrink(t *testing.T) {
+	th := New(0, 32, 100)
+	p := asm.MustAssemble("movi r4, 5\nhalt\n")
+	if err := th.SizeProgram(p, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if th.Regs != 32 {
+		t.Errorf("Regs = %d, want the declared 32", th.Regs)
+	}
+}
+
+func TestSizeProgramRejectsUndersized(t *testing.T) {
+	th := New(0, 8, 100)
+	p := asm.MustAssemble("add r9, r1, r1\nhalt\n")
+	if err := th.SizeProgram(p, 0, 0, true); err == nil {
+		t.Fatal("undersized declaration accepted")
+	}
+	if th.Regs != 8 {
+		t.Errorf("Regs mutated to %d on rejection, want 8", th.Regs)
+	}
+}
+
+func TestSizeProgramFloor(t *testing.T) {
+	// Even a program touching nothing keeps the 4 reserved registers.
+	th := New(0, 8, 100)
+	p := asm.MustAssemble("halt\n")
+	if err := th.SizeProgram(p, 0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if th.Regs != 4 {
+		t.Errorf("Regs = %d, want the reserved floor 4", th.Regs)
+	}
+}

@@ -9,6 +9,10 @@
 # to record a single benchmark under two configurations:
 #   BENCHES='BenchmarkServeGridOverlap/cold' scripts/bench_json.sh pr5-baseline BENCH_PR5.json
 #
+# PKG (environment) selects the package to benchmark (default: the
+# repository root harness), e.g.:
+#   BENCHES='BenchmarkAnalyze' PKG=./internal/analysis scripts/bench_json.sh pr7-analyzer BENCH_PR7.json
+#
 # The outfile is a JSON array of snapshots, one per invocation:
 #
 #   [
@@ -31,8 +35,9 @@ set -eu
 LABEL=${1:?"usage: scripts/bench_json.sh <label> <outfile>"}
 OUT=${2:?"usage: scripts/bench_json.sh <label> <outfile>"}
 BENCHES=${BENCHES:-'BenchmarkNodeSimulation$|BenchmarkSweepParallel$|BenchmarkMachineExecution$|BenchmarkFigure5/F128|BenchmarkServeGridOverlap'}
+PKG=${PKG:-.}
 
-RAW=$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime 2s -count 1 .)
+RAW=$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime 2s -count 1 "$PKG")
 
 SNAP=$(printf '%s\n' "$RAW" | awk -v label="$LABEL" '
 function jnum(s) { return s + 0 }
