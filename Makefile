@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint-asm lint-asm-sarif bench bench-json bench-smoke examples figures data serve-smoke load-smoke clean
+.PHONY: all build test test-race vet lint-asm lint-asm-sarif bench bench-json bench-smoke examples figures data serve-smoke load-smoke cluster-smoke cluster-bench clean
 
 all: test
 
@@ -16,10 +16,11 @@ test: vet
 	$(GO) test ./...
 
 # Race-detect the concurrent experiment harness, the event queue it
-# drives, the serving layer (queue + worker pool + cache), and the
-# point store's cross-job single-flight coalescing.
+# drives, the serving layer (queue + worker pool + cache), the point
+# store's cross-job single-flight coalescing, and the cluster fan-out
+# client (hedges, retries, prober).
 test-race:
-	$(GO) test -race ./internal/experiment/... ./internal/sim/... ./internal/serve/... ./internal/pointstore/... ./cmd/rrserved/...
+	$(GO) test -race ./internal/experiment/... ./internal/sim/... ./internal/serve/... ./internal/pointstore/... ./internal/cluster/... ./cmd/rrserved/...
 
 # End-to-end smoke test of the rrserved daemon: boot, submit a sweep
 # over HTTP, poll to completion, check cache + metrics counters, drain
@@ -31,6 +32,19 @@ serve-smoke:
 # grids, two tenants, admission control on, JSON snapshot checked.
 load-smoke:
 	./scripts/load_smoke.sh
+
+# Distributed execution smoke test: the same sweep through a
+# single-node daemon and a 1-coordinator/3-worker cluster must be
+# byte-identical; also checks the point-cache lock, quorum readiness,
+# cluster metrics, and an rrload burst (see docs/cluster.md).
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
+# Cluster scaling benchmark under the -compute-rate capacity model:
+# cold-sweep points/s through 1 node vs 3 workers, appended to
+# BENCH_PR8.json as ServeLoad snapshots.
+cluster-bench:
+	./scripts/cluster_bench.sh
 
 # Static-analyze every assembly routine the repo ships: the kernel
 # runtime (Figure 3 switch, load/unload), the context allocators, the

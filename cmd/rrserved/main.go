@@ -10,6 +10,15 @@
 //	rrserved -cache-dir /var/cache/rrserved -cache-bytes 67108864
 //	rrserved -point-cache-dir /var/cache/rrserved-points   # reuse sweep points across overlapping jobs
 //
+// Cluster mode (see docs/cluster.md): -role worker additionally serves
+// the shard compute API at /v1/cluster/compute; -role coordinator
+// fans sweep points out to -cluster-workers over consistent hashing,
+// with health probing, retries, and hedged requests. The job API and
+// its results are identical in every role.
+//
+//	rrserved -role worker -addr 127.0.0.1:8441 -point-cache-dir /var/cache/w1
+//	rrserved -role coordinator -cluster-workers http://127.0.0.1:8441,http://127.0.0.1:8442
+//
 // API (see docs/serve.md for the full reference):
 //
 //	GET    /v1/experiments   list runnable experiments
@@ -40,6 +49,8 @@ import (
 	"syscall"
 	"time"
 
+	"regreloc/internal/cluster"
+	"regreloc/internal/experiment"
 	"regreloc/internal/serve"
 )
 
@@ -69,12 +80,35 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 		tenantMax     = fs.Int("tenant-max-inflight", 0, "max active jobs per tenant, 429 past it (0 = no per-tenant cap)")
 		tenantWeights = fs.String("tenant-weights", "", "comma-separated tenant dequeue weights, e.g. alice=4,bob=1 (unlisted tenants weigh 1)")
 		pprofOn       = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
+		role          = fs.String("role", "single", "process role: single, worker (serve the shard compute API), or coordinator (fan sweeps out to -cluster-workers)")
+		clusterPeers  = fs.String("cluster-workers", "", "comma-separated worker base URLs (coordinator role only)")
+		clusterQuorum = fs.Int("cluster-quorum", 0, "healthy workers required before /readyz reports ready (0 = majority of -cluster-workers)")
+		clusterBatch  = fs.Int("cluster-batch", 0, "points per worker compute request (0 = 32)")
+		hedgeAfter    = fs.Duration("cluster-hedge-after", 0, "hedge a still-unanswered batch after this long (0 = 500ms, negative disables)")
+		hedgeMax      = fs.Float64("cluster-hedge-max", 0, "max hedged batches as a fraction of batches sent (0 = 0.1)")
+		clusterRetry  = fs.Int("cluster-retries", 0, "failed-batch re-sends against surviving workers (0 = 2, negative disables)")
+		probeInterval = fs.Duration("cluster-probe-interval", 0, "worker health probe spacing (0 = 2s)")
+		computeRate   = fs.Float64("compute-rate", 0, "cap fresh point simulations per second on this node (0 = unlimited); the per-node capacity model for cluster benchmarking")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *queueCap < 1 || *workers < 1 {
 		fmt.Fprintln(stderr, "rrserved: -queue and -workers must be >= 1")
+		return 2
+	}
+	switch *role {
+	case "single", "worker", "coordinator":
+	default:
+		fmt.Fprintf(stderr, "rrserved: -role must be single, worker, or coordinator, got %q\n", *role)
+		return 2
+	}
+	if *role == "coordinator" && *clusterPeers == "" {
+		fmt.Fprintln(stderr, "rrserved: -role coordinator requires -cluster-workers")
+		return 2
+	}
+	if *role != "coordinator" && *clusterPeers != "" {
+		fmt.Fprintf(stderr, "rrserved: -cluster-workers only applies to -role coordinator (got -role %s)\n", *role)
 		return 2
 	}
 	weights, err := parseTenantWeights(*tenantWeights)
@@ -84,7 +118,43 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 	}
 	logger := log.New(stderr, "rrserved ", log.LstdFlags|log.Lmsgprefix)
 
-	srv, err := serve.New(serve.Config{
+	// NewRateLimiter returns a typed nil for rate <= 0; only a non-nil
+	// limiter may cross into the Limiter interface, or the engine would
+	// call Acquire on a nil receiver.
+	var computeLimit experiment.Limiter
+	if rl := cluster.NewRateLimiter(*computeRate); rl != nil {
+		computeLimit = rl
+	}
+
+	// Coordinator fan-out client: built before the server so its
+	// ReadyCheck and metrics hook into the serving layer's endpoints.
+	var cl *cluster.Client
+	quorum := 0
+	if *role == "coordinator" {
+		cl, err = cluster.New(cluster.Config{
+			Workers:       strings.Split(*clusterPeers, ","),
+			BatchSize:     *clusterBatch,
+			Retries:       *clusterRetry,
+			HedgeAfter:    *hedgeAfter,
+			HedgeMax:      *hedgeMax,
+			ProbeInterval: *probeInterval,
+			Logf:          logger.Printf,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "rrserved: %v\n", err)
+			return 2
+		}
+		quorum = *clusterQuorum
+		if quorum <= 0 {
+			quorum = cl.WorkerCount()/2 + 1
+		}
+		if quorum > cl.WorkerCount() {
+			fmt.Fprintf(stderr, "rrserved: -cluster-quorum %d exceeds the %d configured workers\n", quorum, cl.WorkerCount())
+			return 2
+		}
+	}
+
+	cfg := serve.Config{
 		QueueCap:          *queueCap,
 		Workers:           *workers,
 		PointWorkers:      *pointWorkers,
@@ -98,7 +168,14 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 		TenantWeights:     weights,
 		TenantMaxInflight: *tenantMax,
 		Logger:            logger,
-	})
+		ComputeLimit:      computeLimit,
+	}
+	if cl != nil {
+		cfg.Remote = cl
+		cfg.ReadyCheck = func() error { return cl.Ready(quorum) }
+		cfg.ExtraMetrics = cl.WriteProm
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "rrserved: %v\n", err)
 		return 1
@@ -110,25 +187,39 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 		return 1
 	}
 	srv.Start()
+	if cl != nil {
+		cl.Start()
+		defer cl.Stop()
+	}
 	handler := srv.Handler()
-	if *pprofOn {
-		// Mount the profiling endpoints explicitly rather than relying on
-		// net/http/pprof's DefaultServeMux registration, so they exist
-		// only when asked for.
+	if *pprofOn || *role == "worker" {
+		// Mount the extra endpoints explicitly on an outer mux rather
+		// than relying on global registration, so they exist only when
+		// asked for.
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
-		mux.HandleFunc("/debug/pprof/", netpprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		if *role == "worker" {
+			mux.Handle(cluster.ComputePath, cluster.NewWorker(cluster.WorkerConfig{
+				Points:       srv.Points(),
+				PointWorkers: *pointWorkers,
+				ComputeLimit: computeLimit,
+				Logf:         logger.Printf,
+			}))
+		}
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", netpprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		}
 		handler = mux
 	}
 	hs := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
-	logger.Printf("listening on http://%s (queue=%d workers=%d cache=%dB dir=%q)",
-		ln.Addr(), *queueCap, *workers, *cacheBytes, *cacheDir)
+	logger.Printf("listening on http://%s (role=%s queue=%d workers=%d cache=%dB dir=%q)",
+		ln.Addr(), *role, *queueCap, *workers, *cacheBytes, *cacheDir)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

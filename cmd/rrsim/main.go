@@ -137,6 +137,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			c := store.Counters()
 			fmt.Fprintf(stderr, "rrsim: point cache: %d hits, %d misses (%d entries in memory, %d on disk)\n",
 				c.Hits, c.Misses, store.Len(), store.DiskLen())
+			store.Close() // release the cache dir's advisory lock
 		}()
 	}
 

@@ -1,0 +1,689 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"regreloc/internal/experiment"
+	"regreloc/internal/stats"
+)
+
+// batchLatencyBounds bucket per-worker batch round-trips: a cached
+// batch answers in milliseconds, a cold full-scale one can take
+// seconds.
+var batchLatencyBounds = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 15}
+
+// Config configures the coordinator-side fan-out client.
+type Config struct {
+	// Workers are the worker base URLs (e.g. http://10.0.0.7:8081).
+	// Required, at least one.
+	Workers []string
+	// VNodes per worker on the hash ring (0 = 128).
+	VNodes int
+	// BatchSize caps points per compute request (0 = 32). Smaller
+	// batches spread a sweep wider and make hedging finer-grained;
+	// larger ones amortize HTTP overhead.
+	BatchSize int
+	// MaxInflight bounds concurrent batch requests across the whole
+	// client (0 = 16).
+	MaxInflight int
+	// Retries is how many times a failed batch is re-sent, each time
+	// re-hashed onto the surviving workers (0 = 2; negative disables).
+	Retries int
+	// RetryBackoff spaces retry attempts (0 = 100ms), growing linearly
+	// per attempt.
+	RetryBackoff time.Duration
+	// HedgeAfter launches a duplicate of a still-unanswered batch on
+	// the next ring successor after this long (0 = 500ms; negative
+	// disables hedging). First response wins; results dedupe by point
+	// key, so a double answer is harmless by construction.
+	HedgeAfter time.Duration
+	// HedgeMax caps hedged batches as a fraction of batches sent
+	// (0 = 0.1). At least one hedge is always budgeted, so small
+	// sweeps still get straggler protection.
+	HedgeMax float64
+	// ProbeInterval spaces health probes (0 = 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (0 = 1s).
+	ProbeTimeout time.Duration
+	// EjectAfter ejects a worker from the ring after this many
+	// consecutive failures, probe or compute (0 = 2).
+	EjectAfter int
+	// HTTPClient overrides the transport (nil = a client with no
+	// global timeout; compute requests are bounded by the sweep's
+	// context, probes by ProbeTimeout).
+	HTTPClient *http.Client
+	// Logf receives operational messages (ejections, re-admissions,
+	// give-ups); nil uses the standard logger.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = defaultVNodes
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 16
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 500 * time.Millisecond
+	}
+	if c.HedgeMax <= 0 {
+		c.HedgeMax = 0.1
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 2
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// workerState tracks one configured worker's health and stats. Guarded
+// by Client.mu.
+type workerState struct {
+	url         string
+	up          bool
+	consecFails int
+	batches     int64 // compute requests sent
+	failures    int64 // compute requests failed
+	lat         *stats.Histogram
+}
+
+// Client implements experiment.PointComputer over a worker fleet. It
+// is safe for concurrent use by many sweeps; Start the prober before
+// first use and Stop it on shutdown.
+type Client struct {
+	cfg  Config
+	ring *Ring
+	sem  chan struct{} // bounds in-flight compute requests
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	order   []string // configured order, for stable metrics output
+
+	// Counters (guarded by mu).
+	batches    int64 // batch attempts started (incl. retries, excl. hedges)
+	batchFails int64 // attempts that returned no usable response
+	retries    int64 // re-sends after a failed attempt
+	hedges     int64 // duplicate requests launched for stragglers
+	hedgeWins  int64 // hedges whose response arrived first
+	points     int64 // point results accepted from workers
+	unplaced   int64 // points skipped because no worker was healthy
+	mismatches int64 // requested keys a successful batch did not answer
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New validates the worker list and returns an unstarted client: all
+// workers begin down and join the ring as probes succeed (call Start,
+// or ProbeNow for one synchronous round).
+func New(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: no workers configured")
+	}
+	c := &Client{
+		cfg:     cfg,
+		ring:    NewRing(cfg.VNodes),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		workers: make(map[string]*workerState),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, raw := range cfg.Workers {
+		w := strings.TrimRight(strings.TrimSpace(raw), "/")
+		u, err := url.Parse(w)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: worker %q is not an absolute URL", raw)
+		}
+		if _, dup := c.workers[w]; dup {
+			return nil, fmt.Errorf("cluster: duplicate worker %q", w)
+		}
+		c.workers[w] = &workerState{url: w, lat: stats.NewHistogram(batchLatencyBounds...)}
+		c.order = append(c.order, w)
+	}
+	return c, nil
+}
+
+// Start runs one synchronous probe round (so a freshly booted cluster
+// is usable as soon as Start returns, without waiting an interval) and
+// then probes in the background until Stop.
+func (c *Client) Start() {
+	c.ProbeNow()
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(c.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.ProbeNow()
+			}
+		}
+	}()
+}
+
+// Stop halts background probing. In-flight ComputePoints calls are
+// governed by their own contexts and finish normally.
+func (c *Client) Stop() {
+	select {
+	case <-c.stop:
+		return // already stopped
+	default:
+	}
+	close(c.stop)
+	<-c.done
+}
+
+// ProbeNow probes every configured worker once, concurrently, and
+// applies ejection/re-admission transitions before returning.
+func (c *Client) ProbeNow() {
+	var wg sync.WaitGroup
+	for _, w := range c.order {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			c.noteResult(url, c.probe(url), "probe")
+		}(w)
+	}
+	wg.Wait()
+}
+
+// probe checks one worker's readiness endpoint.
+func (c *Client) probe(worker string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("readyz: %s", resp.Status)
+	}
+	return nil
+}
+
+// noteResult applies one observation of a worker — a probe or a
+// compute attempt — to its health state: success re-admits a down
+// worker immediately (it answered; cache affinity wants it back on the
+// ring fast), EjectAfter consecutive failures eject an up one.
+func (c *Client) noteResult(worker string, err error, kind string) {
+	c.mu.Lock()
+	ws, ok := c.workers[worker]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	if err == nil {
+		ws.consecFails = 0
+		if !ws.up {
+			ws.up = true
+			c.ring.Add(worker)
+			c.mu.Unlock()
+			c.cfg.Logf("cluster: worker %s admitted (%s ok)", worker, kind)
+			return
+		}
+		c.mu.Unlock()
+		return
+	}
+	ws.consecFails++
+	if ws.up && ws.consecFails >= c.cfg.EjectAfter {
+		ws.up = false
+		c.ring.Remove(worker)
+		fails := ws.consecFails
+		c.mu.Unlock()
+		c.cfg.Logf("cluster: worker %s ejected after %d consecutive failures (%s: %v)", worker, fails, kind, err)
+		return
+	}
+	c.mu.Unlock()
+}
+
+// HealthyCount returns how many workers are currently on the ring.
+func (c *Client) HealthyCount() int { return c.ring.Len() }
+
+// WorkerCount returns how many workers are configured.
+func (c *Client) WorkerCount() int { return len(c.order) }
+
+// Ready reports nil when at least quorum workers are healthy.
+// Coordinator /readyz delegates here so load balancers do not route
+// jobs to an empty cluster.
+func (c *Client) Ready(quorum int) error {
+	if n := c.ring.Len(); n < quorum {
+		return fmt.Errorf("cluster: %d/%d workers healthy, quorum %d", n, len(c.order), quorum)
+	}
+	return nil
+}
+
+// batch is one compute request's worth of points, all owned by the
+// same worker at partition time.
+type batch struct {
+	owner string
+	pts   []experiment.RemotePoint
+}
+
+// ComputePoints implements experiment.PointComputer: partition the
+// sweep's points by ring owner, fan the batches out with bounded
+// concurrency, hedge stragglers, retry failures against surviving
+// workers, and emit every verified result. Points that end up
+// unanswered are simply not emitted — the engine simulates them
+// locally.
+func (c *Client) ComputePoints(ctx context.Context, sweep experiment.RemoteSweep, emit func(key string, data []byte)) error {
+	assign := make(map[string][]experiment.RemotePoint)
+	var unplaced int64
+	for _, p := range sweep.Points {
+		owner, ok := c.ring.Owner(p.Key)
+		if !ok {
+			unplaced++
+			continue
+		}
+		assign[owner] = append(assign[owner], p)
+	}
+	if unplaced > 0 {
+		c.mu.Lock()
+		c.unplaced += unplaced
+		c.mu.Unlock()
+		c.cfg.Logf("cluster: %d points unplaced (no healthy workers); computing locally", unplaced)
+	}
+	if len(assign) == 0 {
+		if unplaced > 0 {
+			return fmt.Errorf("cluster: no healthy workers")
+		}
+		return nil
+	}
+
+	var batches []batch
+	for _, owner := range sortedKeys(assign) {
+		pts := assign[owner]
+		for start := 0; start < len(pts); start += c.cfg.BatchSize {
+			end := start + c.cfg.BatchSize
+			if end > len(pts) {
+				end = len(pts)
+			}
+			batches = append(batches, batch{owner: owner, pts: pts[start:end]})
+		}
+	}
+
+	// Dedupe emissions by key: hedged batches can answer twice, and
+	// re-hashed retries can overlap a slow first attempt.
+	var emu sync.Mutex
+	emitted := make(map[string]bool, len(sweep.Points))
+	safeEmit := func(key string, data []byte) {
+		emu.Lock()
+		if emitted[key] {
+			emu.Unlock()
+			return
+		}
+		emitted[key] = true
+		emu.Unlock()
+		emit(key, data)
+	}
+
+	var wg sync.WaitGroup
+	for _, b := range batches {
+		wg.Add(1)
+		go func(b batch) {
+			defer wg.Done()
+			select {
+			case c.sem <- struct{}{}:
+				defer func() { <-c.sem }()
+			case <-ctx.Done():
+				return
+			}
+			c.runBatch(ctx, sweep, b, safeEmit)
+		}(b)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// runBatch drives one batch to completion: primary attempt (hedged if
+// slow), then up to Retries re-sends against the batch key's current
+// ring successors with linear backoff. Exhausting every attempt leaves
+// the batch's points to the engine's local fallback.
+func (c *Client) runBatch(ctx context.Context, sweep experiment.RemoteSweep, b batch, emit func(string, []byte)) {
+	target := b.owner
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.mu.Lock()
+			c.retries++
+			c.mu.Unlock()
+			if !sleepCtx(ctx, time.Duration(attempt)*c.cfg.RetryBackoff) {
+				return
+			}
+			// Re-hash against current membership: the original owner may
+			// have been ejected since (possibly by this very batch's
+			// failure). Prefer successive distinct nodes so repeated
+			// retries spread instead of hammering one survivor.
+			targets := c.ring.Owners(b.pts[0].Key, attempt+1)
+			if len(targets) == 0 {
+				c.cfg.Logf("cluster: batch of %d points abandoned, no healthy workers", len(b.pts))
+				return
+			}
+			target = targets[min(attempt, len(targets)-1)]
+		}
+		c.mu.Lock()
+		c.batches++
+		c.mu.Unlock()
+		if c.sendHedged(ctx, sweep, b, target, emit) {
+			return
+		}
+		c.mu.Lock()
+		c.batchFails++
+		c.mu.Unlock()
+		if ctx.Err() != nil {
+			return
+		}
+	}
+	c.cfg.Logf("cluster: batch of %d points failed %d attempts; computing locally", len(b.pts), c.cfg.Retries+1)
+}
+
+// sendResult is one transport attempt's outcome.
+type sendResult struct {
+	worker  string
+	results map[string][]byte
+	err     error
+}
+
+// sendHedged sends the batch to target, launching one hedge on the
+// next distinct ring successor if no response lands within HedgeAfter
+// (budget permitting). First usable response wins and cancels the
+// loser; results from either are identical by construction, so the
+// race needs no reconciliation.
+func (c *Client) sendHedged(ctx context.Context, sweep experiment.RemoteSweep, b batch, target string, emit func(string, []byte)) bool {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	resCh := make(chan sendResult, 2)
+	launch := func(worker string) {
+		go func() {
+			results, err := c.send(sctx, sweep, b, worker)
+			resCh <- sendResult{worker: worker, results: results, err: err}
+		}()
+	}
+	launch(target)
+	inflight := 1
+
+	var hedgeCh <-chan time.Time
+	if c.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(c.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeCh = t.C
+	}
+
+	for {
+		select {
+		case r := <-resCh:
+			inflight--
+			if r.err == nil {
+				c.noteResult(r.worker, nil, "compute")
+				c.mu.Lock()
+				c.points += int64(len(r.results))
+				if r.worker != target {
+					c.hedgeWins++
+				}
+				if missing := len(b.pts) - len(r.results); missing > 0 {
+					c.mismatches += int64(missing)
+				}
+				c.mu.Unlock()
+				for k, data := range r.results {
+					emit(k, data)
+				}
+				return true
+			}
+			if sctx.Err() == nil {
+				// A real failure, not our own cancellation.
+				c.noteResult(r.worker, r.err, "compute")
+			}
+			if inflight > 0 {
+				continue // a hedge is still running; it may yet win
+			}
+			return false
+		case <-hedgeCh:
+			hedgeCh = nil
+			alt, ok := c.hedgeTarget(b, target)
+			if !ok {
+				continue
+			}
+			launch(alt)
+			inflight++
+		case <-ctx.Done():
+			return false
+		}
+	}
+}
+
+// hedgeTarget picks the hedge destination — the first healthy ring
+// successor distinct from the primary — and spends hedge budget.
+// Budget: hedges may not exceed HedgeMax of batches sent, but the
+// first hedge is always allowed.
+func (c *Client) hedgeTarget(b batch, primary string) (string, bool) {
+	var alt string
+	for _, w := range c.ring.Owners(b.pts[0].Key, 2) {
+		if w != primary {
+			alt = w
+			break
+		}
+	}
+	if alt == "" {
+		return "", false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	budget := int64(c.cfg.HedgeMax * float64(c.batches))
+	if budget < 1 {
+		budget = 1
+	}
+	if c.hedges >= budget {
+		return "", false
+	}
+	c.hedges++
+	return alt, true
+}
+
+// send performs one compute request and returns the results matching
+// the requested keys. Mismatched keys (version skew, worker bugs) are
+// dropped here so they can never reach the engine; the caller counts
+// them off the response size.
+func (c *Client) send(ctx context.Context, sweep experiment.RemoteSweep, b batch, worker string) (map[string][]byte, error) {
+	reqBody := computeRequest{
+		Experiment: sweep.Experiment,
+		Seed:       sweep.Seed,
+		Threads:    sweep.Threads,
+		WorkRuns:   sweep.WorkRuns,
+		MinWork:    sweep.MinWork,
+		Cells:      make([]wireCell, len(b.pts)),
+	}
+	want := make(map[string]bool, len(b.pts))
+	for i, p := range b.pts {
+		reqBody.Cells[i] = wireCell{Key: p.Key, F: p.F, R: p.R, L: p.L, Arch: p.Arch}
+		want[p.Key] = true
+	}
+	raw, err := json.Marshal(&reqBody)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+ComputePath, bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	start := time.Now()
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	c.observeBatch(worker, time.Since(start).Seconds(), resp.StatusCode == http.StatusOK)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("worker %s: %s: %s", worker, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var cr computeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return nil, fmt.Errorf("worker %s: decoding response: %w", worker, err)
+	}
+	out := make(map[string][]byte, len(cr.Results))
+	for _, r := range cr.Results {
+		if want[r.Key] && len(r.Data) > 0 {
+			out[r.Key] = r.Data
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("worker %s: no requested keys in response (engine version skew?)", worker)
+	}
+	return out, nil
+}
+
+// observeBatch records one compute round-trip on the worker's stats.
+func (c *Client) observeBatch(worker string, seconds float64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.workers[worker]
+	if ws == nil {
+		return
+	}
+	ws.batches++
+	if !ok {
+		ws.failures++
+	}
+	ws.lat.Observe(seconds)
+}
+
+// WriteProm appends the cluster metrics in the Prometheus text format;
+// the coordinator's /metrics handler calls it after the serving-layer
+// metrics.
+func (c *Client) WriteProm(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP rrserve_cluster_worker_up Worker ring membership (1 = healthy).\n# TYPE rrserve_cluster_worker_up gauge\n")
+	for _, name := range c.order {
+		up := 0
+		if c.workers[name].up {
+			up = 1
+		}
+		fmt.Fprintf(w, "rrserve_cluster_worker_up{worker=%q} %d\n", name, up)
+	}
+	fmt.Fprintf(w, "# HELP rrserve_cluster_worker_batches_total Compute requests sent per worker.\n# TYPE rrserve_cluster_worker_batches_total counter\n")
+	for _, name := range c.order {
+		fmt.Fprintf(w, "rrserve_cluster_worker_batches_total{worker=%q} %d\n", name, c.workers[name].batches)
+	}
+	fmt.Fprintf(w, "# HELP rrserve_cluster_worker_batch_failures_total Failed compute requests per worker.\n# TYPE rrserve_cluster_worker_batch_failures_total counter\n")
+	for _, name := range c.order {
+		fmt.Fprintf(w, "rrserve_cluster_worker_batch_failures_total{worker=%q} %d\n", name, c.workers[name].failures)
+	}
+
+	fmt.Fprintf(w, "# HELP rrserve_cluster_batch_seconds Compute request round-trip time by worker.\n# TYPE rrserve_cluster_batch_seconds histogram\n")
+	for _, name := range c.order {
+		h := c.workers[name].lat
+		cum := h.Cumulative()
+		for i, b := range h.Bounds() {
+			fmt.Fprintf(w, "rrserve_cluster_batch_seconds_bucket{worker=%q,le=\"%g\"} %d\n", name, b, cum[i])
+		}
+		fmt.Fprintf(w, "rrserve_cluster_batch_seconds_bucket{worker=%q,le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
+		fmt.Fprintf(w, "rrserve_cluster_batch_seconds_sum{worker=%q} %g\n", name, h.Sum())
+		fmt.Fprintf(w, "rrserve_cluster_batch_seconds_count{worker=%q} %d\n", name, h.N())
+	}
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP rrserve_cluster_workers_healthy Workers currently on the ring.\n# TYPE rrserve_cluster_workers_healthy gauge\nrrserve_cluster_workers_healthy %d\n", c.ring.Len())
+	counter("rrserve_cluster_batches_total", "Batch attempts started (including retries).", c.batches)
+	counter("rrserve_cluster_batch_failures_total", "Batch attempts that returned no usable response.", c.batchFails)
+	counter("rrserve_cluster_retries_total", "Batch re-sends after a failed attempt.", c.retries)
+	counter("rrserve_cluster_hedges_total", "Duplicate batch requests launched for stragglers.", c.hedges)
+	counter("rrserve_cluster_hedge_wins_total", "Hedged requests whose response arrived first.", c.hedgeWins)
+	counter("rrserve_cluster_points_total", "Point results accepted from workers.", c.points)
+	counter("rrserve_cluster_unplaced_points_total", "Points computed locally because no worker was healthy.", c.unplaced)
+	counter("rrserve_cluster_key_mismatches_total", "Requested keys a successful batch did not answer (version skew).", c.mismatches)
+}
+
+// Counters is a snapshot of the client's scalar counters, for tests.
+type Counters struct {
+	Batches, BatchFails, Retries    int64
+	Hedges, HedgeWins               int64
+	Points, Unplaced, KeyMismatches int64
+}
+
+// Counters returns a snapshot of the client's counters.
+func (c *Client) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Counters{
+		Batches: c.batches, BatchFails: c.batchFails, Retries: c.retries,
+		Hedges: c.hedges, HedgeWins: c.hedgeWins,
+		Points: c.points, Unplaced: c.unplaced, KeyMismatches: c.mismatches,
+	}
+}
+
+func sortedKeys(m map[string][]experiment.RemotePoint) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sleepCtx sleeps d or until ctx is done; reports whether it slept the
+// full duration.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// RateLimiter implements experiment.Limiter: a token bucket admitting
+// up to perSecond fresh point simulations per second, with a one-second
+// burst allowance so a sweep arriving at an idle node starts without
+// artificial ramp-up.
+//
+// Two roles. Operationally it is overload protection: a worker sharing
+// a box caps its simulation rate so co-tenants keep their share. In
+// benchmarking it is the per-node capacity model: pinning every node to
+// the same rate makes cluster scaling measurable on a single machine,
+// where N processes otherwise just slice one CPU N ways (see
+// docs/cluster.md, "Measuring scaling on one box"). It shapes timing
+// only — never results — and does not enter point keys.
+type RateLimiter struct {
+	mu       sync.Mutex
+	interval time.Duration // time per token
+	next     time.Time     // when the next token matures
+	burst    time.Duration // how far next may lag behind now
+}
+
+// NewRateLimiter returns a limiter admitting perSecond acquisitions
+// per second. perSecond <= 0 returns nil, which callers treat as
+// unlimited (a nil Limiter interface value is only safe if the caller
+// guards, so keep the *RateLimiter type until the final assignment).
+func NewRateLimiter(perSecond float64) *RateLimiter {
+	if perSecond <= 0 {
+		return nil
+	}
+	interval := time.Duration(float64(time.Second) / perSecond)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	return &RateLimiter{interval: interval, burst: time.Second}
+}
+
+// Acquire blocks until a token is available or ctx is done. A
+// cancelled acquire returns immediately without consuming real time;
+// the caller's sweep is being torn down anyway.
+func (l *RateLimiter) Acquire(ctx context.Context) {
+	l.mu.Lock()
+	now := time.Now()
+	if l.next.Before(now.Add(-l.burst)) {
+		// Idle credit is capped at one burst window: an hour of idleness
+		// must not fund an hour-sized spike.
+		l.next = now.Add(-l.burst)
+	}
+	wait := l.next.Sub(now)
+	l.next = l.next.Add(l.interval)
+	l.mu.Unlock()
+
+	if wait <= 0 {
+		return
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

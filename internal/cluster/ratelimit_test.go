@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNewRateLimiterDisabled(t *testing.T) {
+	if NewRateLimiter(0) != nil || NewRateLimiter(-5) != nil {
+		t.Fatal("rate <= 0 should return nil (unlimited)")
+	}
+}
+
+func TestRateLimiterBurstIsImmediate(t *testing.T) {
+	l := NewRateLimiter(1000) // one-second burst window = 1000 tokens
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 500; i++ {
+		l.Acquire(ctx)
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("500 acquires within burst took %v, want ~instant", elapsed)
+	}
+}
+
+func TestRateLimiterPacesPastBurst(t *testing.T) {
+	l := NewRateLimiter(100) // 10ms per token, 100-token burst
+	ctx := context.Background()
+	for i := 0; i < 101; i++ { // drain the burst window and one more
+		l.Acquire(ctx)
+	}
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		l.Acquire(ctx)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("5 post-burst acquires at 100/s took %v, want >= ~50ms of pacing", elapsed)
+	}
+}
+
+func TestRateLimiterCancelledContextUnblocks(t *testing.T) {
+	l := NewRateLimiter(1) // after the burst, each token is a second away
+	ctx, cancel := context.WithCancel(context.Background())
+	l.Acquire(ctx) // consumes the burst credit
+	l.Acquire(ctx)
+	cancel()
+	start := time.Now()
+	l.Acquire(ctx) // would wait ~1s; cancellation must cut it short
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("cancelled Acquire blocked %v", elapsed)
+	}
+}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real point keys: a fixed prefix plus a hex-ish tail.
+		keys[i] = fmt.Sprintf("pt-%08x-%d", i*2654435761, i)
+	}
+	return keys
+}
+
+func TestRingOwnerStableAndOrderIndependent(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	fwd := NewRing(0)
+	for _, n := range nodes {
+		fwd.Add(n)
+	}
+	rev := NewRing(0)
+	for i := len(nodes) - 1; i >= 0; i-- {
+		rev.Add(nodes[i])
+	}
+	for _, k := range testKeys(2000) {
+		a, ok1 := fwd.Owner(k)
+		b, ok2 := rev.Owner(k)
+		if !ok1 || !ok2 {
+			t.Fatalf("owner missing for %q on a populated ring", k)
+		}
+		if a != b {
+			t.Fatalf("owner of %q depends on insertion order: %q vs %q", k, a, b)
+		}
+		if a2, _ := fwd.Owner(k); a2 != a {
+			t.Fatalf("owner of %q not stable across calls", k)
+		}
+	}
+}
+
+// TestRingUniformity chi-squared-tests the key distribution over five
+// nodes. The hash is deterministic, so this is a fixed computation, not
+// a statistical gamble: if it fails, the vnode count or hash mixing
+// regressed. With df = 4 the 99.9th percentile of chi-squared is 18.5;
+// we allow 30 so only a real skew (not a marginal one) trips it.
+func TestRingUniformity(t *testing.T) {
+	const nodes, keys = 5, 20000
+	r := NewRing(0)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("http://worker-%d:8080", i))
+	}
+	counts := make(map[string]int)
+	for _, k := range testKeys(keys) {
+		owner, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("no owner on a populated ring")
+		}
+		counts[owner]++
+	}
+	if len(counts) != nodes {
+		t.Fatalf("only %d/%d nodes own keys: %v", len(counts), nodes, counts)
+	}
+	expected := float64(keys) / nodes
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 30 {
+		t.Fatalf("chi-squared = %.1f over %v (expected %.0f per node): distribution too skewed", chi2, counts, expected)
+	}
+}
+
+// TestRingRemoveMovesOnlyTheRemovedNodesKeys pins the consistent-hash
+// contract on scale-down: ejecting a worker must not reshuffle keys
+// between the survivors, or every ejection would cold-start every
+// worker's point cache.
+func TestRingRemoveMovesOnlyTheRemovedNodesKeys(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	keys := testKeys(10000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+	const victim = "http://b:1"
+	r.Remove(victim)
+	moved := 0
+	for _, k := range keys {
+		after, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("no owner after removal")
+		}
+		if before[k] == victim {
+			moved++
+			if after == victim {
+				t.Fatalf("key %q still owned by removed node", k)
+			}
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", k, before[k], after)
+		}
+	}
+	// The victim's share should be roughly a quarter; allow wide slack
+	// since this asserts "its keys and only its keys moved", not balance.
+	if moved == 0 || moved > len(keys)/2 {
+		t.Fatalf("moved %d/%d keys on removing 1 of 4 nodes", moved, len(keys))
+	}
+}
+
+// TestRingAddBoundsKeyMovement pins scale-up: adding a node may only
+// move keys onto the new node, and not many more than its fair 1/n
+// share.
+func TestRingAddBoundsKeyMovement(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("http://w%d:1", i))
+	}
+	keys := testKeys(10000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+	const newcomer = "http://w4:1"
+	r.Add(newcomer)
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if after == before[k] {
+			continue
+		}
+		if after != newcomer {
+			t.Fatalf("key %q moved %q -> %q, not to the new node", k, before[k], after)
+		}
+		moved++
+	}
+	fair := len(keys) / 5
+	if moved > 2*fair {
+		t.Fatalf("adding 1 of 5 nodes moved %d keys, want <= %d (2x fair share)", moved, 2*fair)
+	}
+	if moved == 0 {
+		t.Fatal("new node owns no keys")
+	}
+}
+
+func TestRingOwnersDistinctSuccessors(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("http://w%d:1", i))
+	}
+	for _, k := range testKeys(100) {
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%q, 3) = %v, want all 3 nodes", k, owners)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%q, 3) repeats %q: %v", k, o, owners)
+			}
+			seen[o] = true
+		}
+		if primary, _ := r.Owner(k); owners[0] != primary {
+			t.Fatalf("Owners[0] = %q, Owner = %q", owners[0], primary)
+		}
+	}
+	// Asking for more than exist returns what exists.
+	if got := r.Owners("some-key", 10); len(got) != 3 {
+		t.Fatalf("Owners(_, 10) on 3 nodes = %v", got)
+	}
+}
+
+func TestRingEmptyAndMembership(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring claims an owner")
+	}
+	if got := r.Owners("k", 2); len(got) != 0 {
+		t.Fatalf("empty ring Owners = %v", got)
+	}
+	r.Add("http://a:1")
+	if !r.Has("http://a:1") || r.Len() != 1 {
+		t.Fatalf("Has/Len wrong after Add: %v %d", r.Has("http://a:1"), r.Len())
+	}
+	r.Remove("http://a:1")
+	if r.Has("http://a:1") || r.Len() != 0 {
+		t.Fatal("Has/Len wrong after Remove")
+	}
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("drained ring claims an owner")
+	}
+}

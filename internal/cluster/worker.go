@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+
+	"regreloc/internal/experiment"
+	"regreloc/internal/pointstore"
+)
+
+// workerDefaultMaxCells caps one compute request's cell count; a
+// coordinator's batch size is far below it, so hitting the cap means a
+// buggy or abusive client, not a big sweep.
+const workerDefaultMaxCells = 4096
+
+// WorkerConfig configures the worker-side compute handler.
+type WorkerConfig struct {
+	// Points, if non-nil, memoizes cells across requests, so a worker
+	// that owns a shard keeps serving it from cache when overlapping
+	// jobs arrive. The consistent-hash ring sends the same keys to the
+	// same worker precisely to make this effective.
+	Points *pointstore.Store
+	// PointWorkers bounds the per-request simulation pool (0 = one per
+	// core).
+	PointWorkers int
+	// ComputeLimit, if non-nil, rate-limits this worker's fresh
+	// simulations (shared across concurrent requests).
+	ComputeLimit experiment.Limiter
+	// MaxCells caps cells per request (0 = workerDefaultMaxCells).
+	MaxCells int
+	// Logf receives operational warnings; nil uses the standard logger.
+	Logf func(format string, args ...any)
+}
+
+// Worker serves the shard-scoped compute API. It is an http.Handler;
+// mount it at ComputePath.
+type Worker struct {
+	cfg WorkerConfig
+}
+
+// NewWorker returns the compute handler for this process.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.MaxCells <= 0 {
+		cfg.MaxCells = workerDefaultMaxCells
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	return &Worker{cfg: cfg}
+}
+
+// ServeHTTP handles POST ComputePath. Errors are deliberately coarse:
+// the coordinator treats any non-200 as a failed batch and retries
+// elsewhere, so precision buys nothing — but 4xx vs 5xx still
+// distinguishes "your request is wrong" from "I am broken".
+func (wk *Worker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req computeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := validateCompute(&req, wk.cfg.MaxCells); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	e, ok := experiment.Get(req.Experiment)
+	if !ok || e.ComputeCells == nil {
+		http.Error(w, fmt.Sprintf("unknown or non-shardable experiment %q", req.Experiment), http.StatusBadRequest)
+		return
+	}
+
+	cells := make([]experiment.Cell, len(req.Cells))
+	for i, c := range req.Cells {
+		cells[i] = experiment.Cell{F: c.F, R: c.R, L: c.L, Arch: c.Arch}
+	}
+	scale := experiment.Scale{
+		Threads:      req.Threads,
+		WorkRuns:     req.WorkRuns,
+		MinWork:      req.MinWork,
+		Workers:      wk.cfg.PointWorkers,
+		PointStore:   wk.cfg.Points,
+		ComputeLimit: wk.cfg.ComputeLimit,
+	}.WithContext(r.Context())
+
+	results, err := e.ComputeCells(req.Seed, scale, cells)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// Coordinator hung up (hedge won elsewhere, job cancelled):
+			// nothing to say and no one listening.
+			return
+		}
+		wk.cfg.Logf("cluster worker: compute %s (%d cells): %v", req.Experiment, len(cells), err)
+		http.Error(w, "compute failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	resp := computeResponse{Results: make([]wireResult, len(results))}
+	for i, cr := range results {
+		resp.Results[i] = wireResult{Key: cr.Key, Data: cr.Data}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(&resp); err != nil {
+		// Response already partially written; the coordinator sees a
+		// truncated body, fails the batch, and retries elsewhere.
+		wk.cfg.Logf("cluster worker: encoding response: %v", err)
+	}
+}
+
+// validateCompute bounds a request before committing simulation work.
+func validateCompute(req *computeRequest, maxCells int) error {
+	switch {
+	case req.Experiment == "":
+		return fmt.Errorf("missing experiment")
+	case len(req.Cells) == 0:
+		return fmt.Errorf("no cells")
+	case len(req.Cells) > maxCells:
+		return fmt.Errorf("too many cells: %d > %d", len(req.Cells), maxCells)
+	case req.Threads <= 0 || req.Threads > 1<<16:
+		return fmt.Errorf("threads %d out of range", req.Threads)
+	case req.WorkRuns < 0 || req.MinWork < 0:
+		return fmt.Errorf("negative work")
+	}
+	for _, c := range req.Cells {
+		if c.F <= 0 || c.R <= 0 || c.L <= 0 || c.Arch == "" || c.Key == "" {
+			return fmt.Errorf("malformed cell %+v", c)
+		}
+	}
+	return nil
+}

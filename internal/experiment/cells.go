@@ -1,0 +1,72 @@
+package experiment
+
+import "fmt"
+
+// sweepCells builds a ComputeCells implementation for a grid sweep
+// experiment: given an explicit cell list (any subset of any grid, in
+// any order) it computes each cell's encoded measurements, resolving
+// through the scale's point store exactly like a whole-grid sweep.
+// The archs slice must be the same one the experiment registers for
+// RunGrid/PointKeys — a cell's arch index enters per-point seed
+// derivation, so the registered order is part of the experiment's
+// definition.
+//
+// Each result carries the key this process derived for the cell. A
+// requester on a different engine version sees its own keys go
+// unanswered (a visible mismatch) instead of receiving bytes computed
+// under different semantics.
+func sweepCells(experimentID string, archs []archSpec, mkSpec specFn) func(uint64, Scale, []Cell) ([]CellResult, error) {
+	archIndex := make(map[string]int, len(archs))
+	for i, a := range archs {
+		archIndex[a.name] = i
+	}
+	return func(seed uint64, scale Scale, cells []Cell) ([]CellResult, error) {
+		pts := make([]point, len(cells))
+		for i, c := range cells {
+			ai, ok := archIndex[c.Arch]
+			if !ok {
+				return nil, fmt.Errorf("experiment %s: unknown arch %q", experimentID, c.Arch)
+			}
+			pts[i] = cellPoint(experimentID, seed, scale, c.F, c.R, c.L, ai, archs[ai], mkSpec)
+		}
+
+		store := scale.PointStore
+		results := make([]CellResult, len(pts))
+		err := scale.forEach(len(pts), func(i int) {
+			p := pts[i]
+			if store == nil {
+				results[i] = CellResult{Key: p.key, Data: encodeMeasurements(p.runLocal(scale))}
+				return
+			}
+			if store.Contains(p.key) {
+				if data, ok := store.Get(p.key); ok {
+					if _, decErr := decodeMeasurements(data); decErr == nil {
+						results[i] = CellResult{Key: p.key, Data: data}
+						return
+					}
+				}
+			}
+			data, doErr := store.Do(p.key, func() ([]byte, error) {
+				return encodeMeasurements(p.runLocal(scale)), nil
+			})
+			if doErr == nil {
+				if _, decErr := decodeMeasurements(data); decErr != nil {
+					doErr = decErr
+				}
+			}
+			if doErr != nil {
+				// Joined a failed flight or shared undecodable bytes:
+				// recompute locally, same policy as executeSweep.
+				data = encodeMeasurements(p.runLocal(scale))
+			}
+			results[i] = CellResult{Key: p.key, Data: data}
+		})
+		if err != nil {
+			// Interrupted (context cancelled): some results are missing.
+			// A partial cell list is useless to the requester — it will
+			// retry elsewhere — so fail whole.
+			return nil, err
+		}
+		return results, nil
+	}
+}

@@ -3,7 +3,6 @@ package experiment
 import (
 	"regreloc/internal/node"
 	"regreloc/internal/policy"
-	"regreloc/internal/workload"
 )
 
 func init() {
@@ -36,10 +35,7 @@ func init() {
 			}
 			fixedBase := func(f int) node.Config { return node.FixedConfig(f, policy.TwoPhase{}, 8) }
 			flexBase := func(f int) node.Config { return node.FlexibleConfig(f, policy.TwoPhase{}, 8) }
-			sweepInto(r, seed, scale, []int{64}, []int{32}, syncLs,
-				func(rl, l int, work int64) workload.Spec {
-					return workload.SyncFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
-				},
+			sweepInto(r, seed, scale, []int{64}, []int{32}, syncLs, syncFaultSpec,
 				[]archSpec{
 					{"fixed", fixedBase},
 					{"flexible", flexBase},

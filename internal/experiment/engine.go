@@ -35,11 +35,34 @@ import (
 // the function producing the cell's measurements. run must not touch
 // state shared with other points. key, when non-empty, is the cell's
 // content address (pointKey) and makes it memoizable; points without a
-// key always simulate.
+// key always simulate. cell, when non-zero (Arch != ""), carries the
+// grid coordinates so the point can be shipped to a remote computer
+// (Scale.Remote); keyless or coordinate-less points always run
+// locally.
 type point struct {
 	seed uint64
 	key  string
+	cell Cell
 	run  func(seed uint64) []Measurement
+}
+
+// runLocal invokes the point's simulation, paying the scale's compute
+// rate limit first (if any). Every fresh local simulation goes through
+// here; cache hits, joined flights, and remote results do not.
+func (p point) runLocal(s Scale) []Measurement {
+	if s.ComputeLimit != nil {
+		s.ComputeLimit.Acquire(s.Context())
+	}
+	return p.run(p.seed)
+}
+
+// sweepMeta names the sweep a point list belongs to; a remote computer
+// needs it to rebuild cells from coordinates. The zero value marks a
+// point list that is not a grid sweep (heterogeneous experiments) and
+// therefore never leaves the process.
+type sweepMeta struct {
+	experiment string
+	seed       uint64
 }
 
 // execute runs the points on Scale.Workers goroutines (0 = all cores)
@@ -57,6 +80,20 @@ type point struct {
 // simulation, and the assembled measurements are byte-identical to a
 // cold run because every cell is a pure function of its key.
 func execute(scale Scale, pts []point) ([]Measurement, error) {
+	return executeSweep(sweepMeta{}, scale, pts)
+}
+
+// executeSweep is execute with the sweep's identity attached. Between
+// the cache pre-pass and the local worker pool it inserts an optional
+// remote phase: when the scale carries a Remote computer and the meta
+// names a registered experiment, the still-missing keyed cells are
+// offered to the remote tier, results are matched back by content
+// address (duplicates and unknown keys dropped), verified by decoding,
+// and stored locally. Whatever the remote tier does not deliver — a
+// failed batch, an ejected worker, a version-skewed key — falls
+// through to the local pool, so remote execution can only speed a
+// sweep up.
+func executeSweep(meta sweepMeta, scale Scale, pts []point) ([]Measurement, error) {
 	results := make([][]Measurement, len(pts))
 	store := scale.PointStore
 	progress := scale.progressHook()
@@ -98,11 +135,81 @@ func execute(scale Scale, pts []point) ([]Measurement, error) {
 		progress(cached, len(pts))
 	}
 
-	err := forEach(scale.Context(), scale.workers(), cached, len(pts), progress, len(todo), func(ti int) {
+	// Remote phase: offer the missing keyed cells to the remote
+	// computer. Results stream back through emit, which fills every
+	// index sharing the key (grids can repeat values), counts
+	// progress, and feeds the local store so the next overlapping
+	// sweep — and this coordinator's planner — sees them as cached.
+	if scale.Remote != nil && meta.experiment != "" && len(todo) > 0 {
+		byKey := make(map[string][]int)
+		rpts := make([]RemotePoint, 0, len(todo))
+		for _, i := range todo {
+			p := pts[i]
+			if p.key == "" || p.cell.Arch == "" {
+				continue
+			}
+			if _, dup := byKey[p.key]; !dup {
+				rpts = append(rpts, RemotePoint{
+					Key: p.key, F: p.cell.F, R: p.cell.R, L: p.cell.L, Arch: p.cell.Arch,
+				})
+			}
+			byKey[p.key] = append(byKey[p.key], i)
+		}
+		if len(rpts) > 0 {
+			var mu sync.Mutex
+			done := cached
+			emit := func(key string, data []byte) {
+				idxs, ok := byKey[key]
+				if !ok {
+					return // unknown or version-skewed key: ignore
+				}
+				ms, decErr := decodeMeasurements(data)
+				if decErr != nil {
+					return // undecodable bytes: cell falls back to local
+				}
+				filled := false
+				mu.Lock()
+				for _, i := range idxs {
+					if results[i] == nil {
+						results[i] = ms
+						done++
+						filled = true
+						if progress != nil {
+							progress(done, len(pts))
+						}
+					}
+				}
+				mu.Unlock()
+				if filled && store != nil {
+					store.Put(key, data)
+				}
+			}
+			// A remote-tier error is not a sweep error: every cell it
+			// failed to deliver is simulated below. The computer's own
+			// metrics/logs carry the diagnosis.
+			_ = scale.Remote.ComputePoints(scale.Context(), RemoteSweep{
+				Experiment: meta.experiment,
+				Seed:       meta.seed,
+				Threads:    scale.Threads,
+				WorkRuns:   scale.WorkRuns,
+				MinWork:    scale.MinWork,
+				Points:     rpts,
+			}, emit)
+			remaining := todo[:0]
+			for _, i := range todo {
+				if results[i] == nil {
+					remaining = append(remaining, i)
+				}
+			}
+			todo = remaining
+		}
+	}
+
+	err := forEach(scale.Context(), scale.workers(), len(pts)-len(todo), len(pts), progress, len(todo), func(ti int) {
 		i := todo[ti]
 		p := pts[i]
 		if store == nil || p.key == "" {
-			results[i] = p.run(p.seed)
+			results[i] = p.runLocal(scale)
 			return
 		}
 		// Single-flight through the store: if a concurrent sweep is
@@ -112,7 +219,7 @@ func execute(scale Scale, pts []point) ([]Measurement, error) {
 		// leader never pays a decode round-trip for its own result.
 		var ms []Measurement
 		data, doErr := store.Do(p.key, func() ([]byte, error) {
-			ms = p.run(p.seed)
+			ms = p.runLocal(scale)
 			return encodeMeasurements(ms), nil
 		})
 		if ms == nil {
@@ -122,7 +229,7 @@ func execute(scale Scale, pts []point) ([]Measurement, error) {
 			if doErr != nil {
 				// Joined a flight that failed, or shared bytes we cannot
 				// decode: simulate locally rather than failing the sweep.
-				ms = p.run(p.seed)
+				ms = p.runLocal(scale)
 			}
 		}
 		results[i] = ms

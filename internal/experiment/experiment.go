@@ -52,6 +52,19 @@ type Scale struct {
 	// point's key, execution-only fields (Workers, Progress, context)
 	// are not.
 	PointStore *pointstore.Store
+	// Remote, if non-nil, is offered the cells a sweep still needs
+	// after the point-store pre-pass (see executeSweep). Cells the
+	// remote tier delivers are matched by content address and verified
+	// by decoding; anything missing or undecodable is simulated
+	// locally, so Remote accelerates sweeps without ever owning their
+	// correctness. Execution-only: not part of point keys.
+	Remote PointComputer
+	// ComputeLimit, if non-nil, gates every local point simulation
+	// behind Acquire, bounding this process's simulation rate (e.g. to
+	// protect a shared box, or to model fixed per-node capacity).
+	// Cache hits and remote results bypass it. Execution-only: not
+	// part of point keys.
+	ComputeLimit Limiter
 
 	// ctx carries cancellation into the engine; set via WithContext.
 	// nil means context.Background().
@@ -208,6 +221,13 @@ type Experiment struct {
 	// to partition a request into cached and to-compute points before
 	// committing resources.
 	PointKeys func(seed uint64, scale Scale, g Grids) []string
+	// ComputeCells, when non-nil, computes an explicit list of cells
+	// (any subset of any grid) and returns their encoded measurements
+	// keyed by content address (see sweepCells). Cluster workers use
+	// it to serve shard-scoped compute requests; cells resolve through
+	// the scale's point store exactly like a full sweep, so worker
+	// caches stay effective across overlapping jobs.
+	ComputeCells func(seed uint64, scale Scale, cells []Cell) ([]CellResult, error)
 }
 
 var registry = map[string]Experiment{}
@@ -252,6 +272,41 @@ type archSpec struct {
 	cfg  func(fileSize int) node.Config
 }
 
+// specFn builds the workload for one (R, L) cell. It receives the
+// scale so population size can enter the spec; it must be a pure
+// function of its arguments, because the same builder serves both
+// whole-grid sweeps (sweepInto) and shard-scoped cell lists
+// (sweepCells) — possibly in different processes, whose results must
+// be byte-identical.
+type specFn func(scale Scale, rl, l int, work int64) workload.Spec
+
+// panelName is the single source of truth for a cell's panel label, so
+// grid sweeps and remote cell computation agree byte-for-byte.
+func panelName(f int) string { return fmt.Sprintf("F=%d", f) }
+
+// cellPoint builds the schedulable point for one (F, R, L, arch) cell.
+// All per-point derivation lives here — the RNG seed (from the cell
+// coordinates and the arch's index in the experiment's registered
+// list), the content address, and the run closure — so every code path
+// that computes a cell (whole-grid sweep, remote cell list) produces
+// identical bytes.
+func cellPoint(experimentID string, seed uint64, scale Scale, f, r, l, ai int, a archSpec, mkSpec specFn) point {
+	spec := mkSpec(scale, r, l, scale.workPer(r))
+	panel := panelName(f)
+	return point{
+		seed: rng.DeriveSeed(seed, uint64(f), uint64(r), uint64(l), uint64(ai)),
+		key:  pointKey(experimentID, seed, scale, f, r, l, a.name),
+		cell: Cell{F: f, R: r, L: l, Arch: a.name},
+		run: func(pointSeed uint64) []Measurement {
+			res := node.Run(a.cfg(f), spec, pointSeed)
+			return []Measurement{{
+				Panel: panel, Arch: a.name, R: r, L: l, F: f,
+				Eff: res.Efficiency, Res: res,
+			}}
+		},
+	}
+}
+
 // sweep builds the panel-major (F, R, L, arch) point list and hands it
 // to the engine. Every cell simulates under its own RNG stream,
 // derived from the experiment seed and the cell's coordinates, so
@@ -261,38 +316,26 @@ type archSpec struct {
 // keys are computed here, in one place, so sweepKeys can enumerate
 // them identically without building the points.
 func sweep(experimentID string, seed uint64, scale Scale, fs, rs, ls []int,
-	mkSpec func(r, l int, work int64) workload.Spec, archs []archSpec) ([]Measurement, error) {
+	mkSpec specFn, archs []archSpec) ([]Measurement, error) {
 
 	var pts []point
 	for _, f := range fs {
-		panel := fmt.Sprintf("F=%d", f)
 		for _, r := range rs {
 			for _, l := range ls {
-				spec := mkSpec(r, l, scale.workPer(r))
 				for ai, a := range archs {
-					pts = append(pts, point{
-						seed: rng.DeriveSeed(seed, uint64(f), uint64(r), uint64(l), uint64(ai)),
-						key:  pointKey(experimentID, seed, scale, f, r, l, a.name),
-						run: func(pointSeed uint64) []Measurement {
-							res := node.Run(a.cfg(f), spec, pointSeed)
-							return []Measurement{{
-								Panel: panel, Arch: a.name, R: r, L: l, F: f,
-								Eff: res.Efficiency, Res: res,
-							}}
-						},
-					})
+					pts = append(pts, cellPoint(experimentID, seed, scale, f, r, l, ai, a, mkSpec))
 				}
 			}
 		}
 	}
-	return execute(scale, pts)
+	return executeSweep(sweepMeta{experiment: experimentID, seed: seed}, scale, pts)
 }
 
 // sweepInto runs sweep and records the result on the report, keeping
 // the partial points and the interruption error together. The report's
 // ID scopes the point keys.
 func sweepInto(r *Report, seed uint64, scale Scale, fs, rs, ls []int,
-	mkSpec func(rl, l int, work int64) workload.Spec, archs []archSpec) {
+	mkSpec specFn, archs []archSpec) {
 	r.Points, r.Err = sweep(r.ID, seed, scale, fs, rs, ls, mkSpec, archs)
 }
 

@@ -43,6 +43,27 @@ func lookupArch(switchCost int64, pol policy.Unload) archSpec {
 	}}
 }
 
+// Shared workload builders: each grid experiment's spec function is
+// defined once and used by RunGrid (whole grids) and ComputeCells
+// (shard-scoped cell lists) alike, so a cell computes identically no
+// matter which path — or which process — runs it.
+func cacheFaultSpec(scale Scale, rl, l int, work int64) workload.Spec {
+	return workload.CacheFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
+}
+
+func syncFaultSpec(scale Scale, rl, l int, work int64) workload.Spec {
+	return workload.SyncFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
+}
+
+func bimodalSpec(scale Scale, rl, l int, work int64) workload.Spec {
+	bimodal := rng.NewWeighted([]int{6, 24}, []float64{4, 1})
+	return workload.CacheFaults(rl, l, bimodal, scale.Threads, work)
+}
+
+func combinedSpec(scale Scale, rl, l int, work int64) workload.Spec {
+	return workload.Combined(32, 64, rl, l, workload.PaperCtxSize(), scale.Threads, work)
+}
+
 func init() {
 	figure5Archs := []archSpec{fixedArch(6, policy.Never{}), flexArch(6, policy.Never{})}
 	register(Experiment{
@@ -61,14 +82,11 @@ func init() {
 					"contexts, with higher efficiency over a wide range of L and R.",
 				},
 			}
-			sweepInto(r, seed, scale, g.F, g.R, g.L,
-				func(rl, l int, work int64) workload.Spec {
-					return workload.CacheFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
-				},
-				figure5Archs)
+			sweepInto(r, seed, scale, g.F, g.R, g.L, cacheFaultSpec, figure5Archs)
 			return r
 		},
-		PointKeys: sweepKeys("figure5", fileSizes, cacheRs, cacheLs, figure5Archs),
+		PointKeys:    sweepKeys("figure5", fileSizes, cacheRs, cacheLs, figure5Archs),
+		ComputeCells: sweepCells("figure5", figure5Archs, cacheFaultSpec),
 	})
 
 	figure6Archs := []archSpec{fixedArch(8, policy.TwoPhase{}), flexArch(8, policy.TwoPhase{})}
@@ -90,14 +108,11 @@ func init() {
 					"contexts win marginally.",
 				},
 			}
-			sweepInto(r, seed, scale, g.F, g.R, g.L,
-				func(rl, l int, work int64) workload.Spec {
-					return workload.SyncFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
-				},
-				figure6Archs)
+			sweepInto(r, seed, scale, g.F, g.R, g.L, syncFaultSpec, figure6Archs)
 			return r
 		},
-		PointKeys: sweepKeys("figure6", fileSizes, syncRs, syncLs, figure6Archs),
+		PointKeys:    sweepKeys("figure6", fileSizes, syncRs, syncLs, figure6Archs),
+		ComputeCells: sweepCells("figure6", figure6Archs, syncFaultSpec),
 	})
 
 	cheapAllocArchs := []archSpec{
@@ -123,19 +138,19 @@ func init() {
 					"fixed-size contexts.",
 				},
 			}
-			sweepInto(r, seed, scale, g.F, g.R, g.L,
-				func(rl, l int, work int64) workload.Spec {
-					return workload.SyncFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
-				},
-				cheapAllocArchs)
+			sweepInto(r, seed, scale, g.F, g.R, g.L, syncFaultSpec, cheapAllocArchs)
 			return r
 		},
-		PointKeys: sweepKeys("figure6a-cheap", []int{64}, syncRs, syncLs, cheapAllocArchs),
+		PointKeys:    sweepKeys("figure6a-cheap", []int{64}, syncRs, syncLs, cheapAllocArchs),
+		ComputeCells: sweepCells("figure6a-cheap", cheapAllocArchs, syncFaultSpec),
 	})
 
 	registerHomogeneous := func(c int) {
 		id := fmt.Sprintf("homogeneous-c%d", c)
 		title := fmt.Sprintf("Section 3.4: homogeneous context size C=%d", c)
+		homogSpec := func(scale Scale, rl, l int, work int64) workload.Spec {
+			return workload.CacheFaults(rl, l, rng.Constant{Value: c}, scale.Threads, work)
+		}
 		register(Experiment{
 			ID:    id,
 			Title: title,
@@ -153,14 +168,11 @@ func init() {
 						"larger.",
 					},
 				}
-				sweepInto(r, seed, scale, g.F, g.R, g.L,
-					func(rl, l int, work int64) workload.Spec {
-						return workload.CacheFaults(rl, l, rng.Constant{Value: c}, scale.Threads, work)
-					},
-					figure5Archs)
+				sweepInto(r, seed, scale, g.F, g.R, g.L, homogSpec, figure5Archs)
 				return r
 			},
-			PointKeys: sweepKeys(id, fileSizes, cacheRs, cacheLs, figure5Archs),
+			PointKeys:    sweepKeys(id, fileSizes, cacheRs, cacheLs, figure5Archs),
+			ComputeCells: sweepCells(id, figure5Archs, homogSpec),
 		})
 	}
 	registerHomogeneous(8)
@@ -184,15 +196,11 @@ func init() {
 					"but burn a whole 32-register hardware context on the baseline.",
 				},
 			}
-			bimodal := rng.NewWeighted([]int{6, 24}, []float64{4, 1})
-			sweepInto(r, seed, scale, g.F, g.R, g.L,
-				func(rl, l int, work int64) workload.Spec {
-					return workload.CacheFaults(rl, l, bimodal, scale.Threads, work)
-				},
-				figure5Archs)
+			sweepInto(r, seed, scale, g.F, g.R, g.L, bimodalSpec, figure5Archs)
 			return r
 		},
-		PointKeys: sweepKeys("mixed-granularity", fileSizes, cacheRs, cacheLs, figure5Archs),
+		PointKeys:    sweepKeys("mixed-granularity", fileSizes, cacheRs, cacheLs, figure5Archs),
+		ComputeCells: sweepCells("mixed-granularity", figure5Archs, bimodalSpec),
 	})
 
 	register(Experiment{
@@ -211,14 +219,11 @@ func init() {
 					"results; the main effect was to increase the overall fault rate.",
 				},
 			}
-			sweepInto(r, seed, scale, g.F, g.R, g.L,
-				func(rl, l int, work int64) workload.Spec {
-					return workload.Combined(32, 64, rl, l, workload.PaperCtxSize(), scale.Threads, work)
-				},
-				figure6Archs)
+			sweepInto(r, seed, scale, g.F, g.R, g.L, combinedSpec, figure6Archs)
 			return r
 		},
-		PointKeys: sweepKeys("combined", fileSizes, syncRs, syncLs, figure6Archs),
+		PointKeys:    sweepKeys("combined", fileSizes, syncRs, syncLs, figure6Archs),
+		ComputeCells: sweepCells("combined", figure6Archs, combinedSpec),
 	})
 
 	register(Experiment{
@@ -233,10 +238,7 @@ func init() {
 				{"flex-two-phase", func(f int) node.Config { return node.FlexibleConfig(f, policy.TwoPhase{}, 8) }},
 				{"flex-always", func(f int) node.Config { return node.FlexibleConfig(f, policy.Always{}, 8) }},
 			}
-			sweepInto(r, seed, scale, []int{128}, []int{32}, syncLs,
-				func(rl, l int, work int64) workload.Spec {
-					return workload.SyncFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
-				}, archs)
+			sweepInto(r, seed, scale, []int{128}, []int{32}, syncLs, syncFaultSpec, archs)
 			return r
 		},
 	})
@@ -272,10 +274,7 @@ func init() {
 				}},
 				lookupArch(8, policy.TwoPhase{}),
 			}
-			sweepInto(r, seed, scale, []int{64}, []int{32}, syncLs,
-				func(rl, l int, work int64) workload.Spec {
-					return workload.SyncFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
-				}, archs)
+			sweepInto(r, seed, scale, []int{64}, []int{32}, syncLs, syncFaultSpec, archs)
 			return r
 		},
 	})

@@ -85,8 +85,12 @@ func TestFigure5GoldenFromPointCache(t *testing.T) {
 	}
 
 	// Persist and reload so warm assembly also crosses the disk tier's
-	// checksum-verified entries, not just memory.
+	// checksum-verified entries, not just memory. Close releases the
+	// dir's advisory lock so the warm stores below can claim it.
 	if err := store.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -112,6 +116,9 @@ func TestFigure5GoldenFromPointCache(t *testing.T) {
 		if c := warmStore.Counters(); c.Misses != 0 || c.Hits != int64(len(r.Points)) {
 			t.Fatalf("workers=%d: warm run counters = %+v, want all %d points served as hits",
 				workers, c, len(r.Points))
+		}
+		if err := warmStore.Close(); err != nil {
+			t.Fatal(err)
 		}
 	}
 }

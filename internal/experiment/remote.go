@@ -1,0 +1,83 @@
+package experiment
+
+import "context"
+
+// This file defines the seam between the sweep engine and a remote
+// compute tier (internal/cluster). A grid sweep reduces to independent,
+// content-addressed cells; anything that can turn a list of cells into
+// encoded measurement bytes can therefore stand in for the local worker
+// pool. The engine stays the source of truth for assembly order and
+// correctness: remote results are matched back by point key, verified
+// by decoding, and any cell the remote tier fails to deliver is
+// simulated locally. A remote tier can accelerate a sweep; it can never
+// corrupt one.
+
+// Cell identifies one sweep point by its grid coordinates. The arch is
+// the registered architecture name ("fixed", "flexible", ...); the
+// experiment's arch list fixes the index that enters per-point seed
+// derivation, so a cell's measurements are identical no matter which
+// process computes it.
+type Cell struct {
+	F    int    `json:"f"`
+	R    int    `json:"r"`
+	L    int    `json:"l"`
+	Arch string `json:"arch"`
+}
+
+// CellResult is one computed cell: its content address (pointKey) and
+// the encoded measurements (pointcodec bytes). Data decodes with
+// decodeMeasurements; the key is derived by the computing process, so a
+// caller on a different engine version detects the skew as a key
+// mismatch instead of silently mixing incompatible results.
+type CellResult struct {
+	Key  string
+	Data []byte
+}
+
+// RemotePoint is a cell plus the content address the requester derived
+// for it. Remote computers shard and dedupe on Key; the coordinates let
+// the remote side rebuild the cell without re-deriving grids.
+type RemotePoint struct {
+	Key  string
+	F    int
+	R    int
+	L    int
+	Arch string
+}
+
+// RemoteSweep is one sweep's worth of remote compute work: the
+// experiment and the scale fields that shape results (Threads,
+// WorkRuns, MinWork — exactly the fields that enter point keys), plus
+// the points still missing after the local cache pre-pass.
+type RemoteSweep struct {
+	Experiment string
+	Seed       uint64
+	Threads    int
+	WorkRuns   int64
+	MinWork    int64
+	Points     []RemotePoint
+}
+
+// PointComputer computes sweep cells somewhere other than the local
+// worker pool — e.g. a cluster fan-out client. Implementations call
+// emit once per completed point with the cell's key and encoded
+// measurements; emit is safe to call concurrently and tolerates
+// duplicate and unknown keys (both are dropped). ComputePoints returns
+// when no more results will be emitted; a non-nil error means the
+// remote tier as a whole failed. Either way the engine simulates every
+// unemitted cell locally, so a flaky or partial remote tier degrades
+// throughput, never correctness.
+type PointComputer interface {
+	ComputePoints(ctx context.Context, sweep RemoteSweep, emit func(key string, data []byte)) error
+}
+
+// Limiter caps the rate at which a process starts local point
+// simulations. Acquire blocks until a token is available or ctx is
+// cancelled; cancelled acquires return immediately so a dying sweep is
+// never held hostage by its own rate limit. Like Workers and Progress
+// it is an execution-only knob: it shapes timing, never results, and
+// does not enter point keys. Cache hits and joined flights consume no
+// tokens — only fresh simulations pay.
+type Limiter interface {
+	Acquire(ctx context.Context)
+}

@@ -6,7 +6,6 @@ import (
 	"regreloc/internal/alloc"
 	"regreloc/internal/node"
 	"regreloc/internal/policy"
-	"regreloc/internal/workload"
 )
 
 func init() {
@@ -40,10 +39,7 @@ func init() {
 					QueueOpCost: 10,
 				}
 			}}
-			sweepInto(r, seed, scale, fileSizes, []int{8, 32}, cacheLs,
-				func(rl, l int, work int64) workload.Spec {
-					return workload.CacheFaults(rl, l, workload.PaperCtxSize(), scale.Threads, work)
-				},
+			sweepInto(r, seed, scale, fileSizes, []int{8, 32}, cacheLs, cacheFaultSpec,
 				[]archSpec{fixedArch(6, policy.Never{}), flexArch(6, policy.Never{}), exact})
 
 			// Summarize waste per architecture at F=128 (where rounding

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package pointstore
+
+import "os"
+
+// Non-unix builds get no advisory locking: the lock file is still
+// created (so operators see the convention) but concurrent opens are
+// not detected. All deployment targets are unix; this keeps the
+// package compiling elsewhere.
+func flockExclusive(*os.File) error { return nil }
+
+func flockRelease(*os.File) {}

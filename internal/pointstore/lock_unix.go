@@ -1,0 +1,30 @@
+//go:build unix
+
+package pointstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive advisory lock on f.
+// flock locks are per open-file-description, so a second Store opening
+// the same dir is rejected even within one process, and the kernel
+// drops the lock automatically when the holder exits — no stale-lock
+// cleanup needed.
+func flockExclusive(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		if err == syscall.EWOULDBLOCK {
+			return fmt.Errorf("flock: held elsewhere")
+		}
+		return fmt.Errorf("flock: %w", err)
+	}
+	return nil
+}
+
+// flockRelease drops the lock; errors are ignored because closing the
+// descriptor releases it anyway.
+func flockRelease(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

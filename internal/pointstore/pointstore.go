@@ -50,6 +50,9 @@ type Store struct {
 	items  map[string]*list.Element
 	dir    string
 	disk   map[string]diskEntry
+	// lock holds the directory's advisory lock file (dir/.lock) for
+	// the store's lifetime; released by Close. nil when dir == "".
+	lock *os.File
 
 	// inflight tracks keys being computed right now; later Do calls
 	// for the same key wait for the leader instead of recomputing.
@@ -129,10 +132,22 @@ const indexVersion = 1
 // sharing the same directory.
 const indexName = "points.json"
 
+// lockName is the advisory lock file guarding a spill directory. The
+// disk tier assumes a single writing process: two stores sharing a dir
+// would clobber each other's points.json on SaveIndex and race payload
+// writes. New takes the lock; Close releases it.
+const lockName = ".lock"
+
 // New returns a store with the given in-memory byte budget (<= 0
 // disables the memory tier) and optional spill directory. An existing
 // index in the directory is loaded so a restarted process resumes
 // with its disk tier warm.
+//
+// The directory is claimed with an advisory lock (dir/.lock) held
+// until Close: if another live process already holds it, New fails
+// with a clear error instead of letting two disk tiers silently
+// clobber each other's index. Locks die with their holder, so a
+// crashed process never strands a directory.
 func New(budget int64, dir string) (*Store, error) {
 	s := &Store{
 		budget:   budget,
@@ -148,11 +163,22 @@ func New(budget int64, dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("pointstore: dir: %w", err)
 	}
+	lf, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pointstore: lock file: %w", err)
+	}
+	if err := flockExclusive(lf); err != nil {
+		lf.Close()
+		return nil, fmt.Errorf("pointstore: cache dir %s is locked by another process "+
+			"(each process needs its own point-cache dir; see docs/cluster.md): %w", dir, err)
+	}
+	s.lock = lf
 	raw, err := os.ReadFile(filepath.Join(dir, indexName))
 	if os.IsNotExist(err) {
 		return s, nil
 	}
 	if err != nil {
+		s.Close()
 		return nil, fmt.Errorf("pointstore: index: %w", err)
 	}
 	var idx storeIndex
@@ -370,6 +396,23 @@ func (s *Store) SaveIndex() error {
 		return errors.Join(spillErr, err)
 	}
 	return errors.Join(spillErr, os.Rename(tmp, filepath.Join(s.dir, indexName)))
+}
+
+// Close releases the spill directory's advisory lock so another
+// process (or a fresh Store) can claim the dir. It does not persist
+// anything — call SaveIndex first if the disk tier should survive.
+// Close is idempotent and a no-op for memory-only stores; the store
+// must not be used after Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lock == nil {
+		return nil
+	}
+	lf := s.lock
+	s.lock = nil
+	flockRelease(lf)
+	return lf.Close()
 }
 
 // Len returns the number of in-memory entries; DiskLen the number of

@@ -150,8 +150,12 @@ func TestEvictionSpillsToDiskAndReloads(t *testing.T) {
 		t.Fatal("evicted entry not readable from disk")
 	}
 
-	// Persist and reload: the disk tier survives a restart.
+	// Persist and reload: the disk tier survives a restart. Close
+	// first — the dir's advisory lock admits one store at a time.
 	if err := s.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 	s2, err := New(64, dir)
@@ -310,4 +314,54 @@ func biWith(version, rev string, modified bool) *debug.BuildInfo {
 		bi.Settings = append(bi.Settings, debug.BuildSetting{Key: "vcs.modified", Value: "true"})
 	}
 	return bi
+}
+
+// TestDirLockRejectsSecondOpener is the regression test for the
+// two-processes-one-dir clobbering bug: the disk tier assumes a single
+// writer, so a second Store opening a held dir must be refused with an
+// error naming the dir — not admitted to silently overwrite
+// points.json. Close releases the claim.
+func TestDirLockRejectsSecondOpener(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(1<<20, dir); err == nil {
+		t.Fatal("second store opened a locked dir")
+	} else if !strings.Contains(err.Error(), dir) {
+		t.Errorf("lock error should name the contested dir, got: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Released: the dir is claimable again, and Close is idempotent.
+	s2, err := New(1<<20, dir)
+	if err != nil {
+		t.Fatalf("dir not claimable after Close: %v", err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Memory-only stores take no lock: any number may coexist.
+func TestMemoryOnlyStoresUnlocked(t *testing.T) {
+	a, err := New(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
 }

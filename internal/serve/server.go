@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -72,6 +73,24 @@ type Config struct {
 	// Logger receives structured request and job logs (default: a
 	// stderr logger).
 	Logger *log.Logger
+	// Remote, when non-nil, is handed the sweep cells a job still
+	// needs after the point-store pre-pass (experiment.Scale.Remote).
+	// A coordinator sets it to the cluster fan-out client; the local
+	// pool and the cluster are interchangeable behind this interface.
+	Remote experiment.PointComputer
+	// ComputeLimit, when non-nil, rate-limits this process's fresh
+	// point simulations (experiment.Scale.ComputeLimit): overload
+	// protection for a worker sharing a box, and the per-node capacity
+	// model for single-box cluster benchmarks.
+	ComputeLimit experiment.Limiter
+	// ReadyCheck, when non-nil, adds a condition to /readyz: a non-nil
+	// error answers 503 with the error text. A coordinator uses it to
+	// stay unready until a quorum of workers is healthy.
+	ReadyCheck func() error
+	// ExtraMetrics, when non-nil, is invoked at the end of /metrics to
+	// append additional Prometheus text (e.g. the cluster client's
+	// per-worker series).
+	ExtraMetrics func(w io.Writer)
 }
 
 func (c Config) withDefaults() Config {
@@ -245,6 +264,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.points != nil {
 		if err := s.points.SaveIndex(); err != nil {
 			errs = append(errs, fmt.Errorf("serve: persisting point-store index: %w", err))
+		}
+		// Release the point-cache dir's advisory lock so a restarting
+		// process (or a test reopening the dir) can claim it.
+		if err := s.points.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("serve: closing point store: %w", err))
 		}
 	}
 	return errors.Join(errs...)
@@ -578,6 +602,8 @@ func (s *Server) runExperiment(ctx context.Context, j *Job) ([]byte, int, error)
 	sc.Workers = s.cfg.PointWorkers
 	sc.Progress = func(done, total int) { j.setProgress(done, total) }
 	sc.PointStore = s.points
+	sc.Remote = s.cfg.Remote
+	sc.ComputeLimit = s.cfg.ComputeLimit
 	sc = sc.WithContext(ctx)
 
 	var rep *experiment.Report
@@ -598,6 +624,11 @@ func (s *Server) runExperiment(ctx context.Context, j *Job) ([]byte, int, error)
 
 // QueueDepth returns the number of queued (not yet running) jobs.
 func (s *Server) QueueDepth() int { return s.queue.depth() }
+
+// Points returns the server's point store (nil when point memoization
+// is disabled). A worker-mode daemon hands it to the cluster compute
+// handler so shard requests share the serving path's cache.
+func (s *Server) Points() *pointstore.Store { return s.points }
 
 // PointCounters returns the point store's event counters (zero values
 // when point memoization is disabled), for metrics and benchmarks that
@@ -799,6 +830,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b strings.Builder
 	s.met.writeProm(&b, g)
+	if s.cfg.ExtraMetrics != nil {
+		s.cfg.ExtraMetrics(&b)
+	}
 	w.Write([]byte(b.String()))
 }
 
@@ -815,6 +849,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		w.Write([]byte("draining\n"))
 		return
+	}
+	if s.cfg.ReadyCheck != nil {
+		if err := s.cfg.ReadyCheck(); err != nil {
+			// Not ready for traffic (e.g. a coordinator short of its
+			// worker quorum): tell load balancers to look elsewhere.
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "%v\n", err)
+			return
+		}
 	}
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte("ready\n"))

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Cluster scaling benchmark: measure cold-sweep throughput (points/s)
+# through one single-node rrserved versus a coordinator with three
+# workers, and append both ServeLoad snapshots to a trajectory file.
+#
+# All nodes run under the same -compute-rate cap, the per-node capacity
+# model that makes scaling measurable on one box: N co-located worker
+# processes otherwise just slice a single CPU N ways and measure
+# nothing (see docs/cluster.md, "Measuring scaling on one box"). Keep
+# workers * RATE below the machine's real simulation throughput or the
+# cap stops being the bottleneck and the numbers stop meaning anything.
+#
+# Usage: scripts/cluster_bench.sh [outfile]   (default BENCH_PR8.json)
+set -euo pipefail
+
+OUT="${1:-BENCH_PR8.json}"
+RATE="${RRCLUSTER_RATE:-250}"               # points/s per node
+DURATION="${RRCLUSTER_DURATION:-12s}"
+CLIENTS="${RRCLUSTER_CLIENTS:-16}"
+BASE_PORT="${RRCLUSTER_BASE_PORT:-18450}"
+SINGLE="127.0.0.1:$BASE_PORT"
+W1="127.0.0.1:$((BASE_PORT + 1))"
+W2="127.0.0.1:$((BASE_PORT + 2))"
+W3="127.0.0.1:$((BASE_PORT + 3))"
+COORD="127.0.0.1:$((BASE_PORT + 4))"
+TMP="$(mktemp -d)"
+PIDS=()
+trap 'for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT
+
+wait_ready() {
+    local addr=$1 i
+    for i in $(seq 1 50); do
+        if curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+    done
+    echo "daemon at $addr never became ready" >&2
+    return 1
+}
+
+stop_daemon() {
+    kill -TERM "$1" 2>/dev/null || true
+    local waited=0
+    while kill -0 "$1" 2>/dev/null; do
+        sleep 0.2
+        waited=$((waited + 1))
+        [ "$waited" -lt 150 ] || return 1
+    done
+}
+
+echo "== building rrserved + rrload"
+go build -o "$TMP/rrserved" ./cmd/rrserved
+go build -o "$TMP/rrload" ./cmd/rrload
+
+# Cold sweeps only (-overlap 0): every submission is a unique grid, so
+# throughput is bounded by simulation capacity, not cache hits.
+load() { # addr label
+    "$TMP/rrload" -addr "$1" -clients "$CLIENTS" -duration "$DURATION" \
+        -overlap 0 -snapshot-label "$2" -out "$OUT"
+}
+
+echo "== single node at $RATE points/s"
+"$TMP/rrserved" -addr "$SINGLE" -queue 256 -workers 8 -compute-rate "$RATE" &
+SINGLE_PID=$!
+PIDS+=("$SINGLE_PID")
+wait_ready "$SINGLE"
+load "$SINGLE" "serveload-single-1w-rate$RATE"
+stop_daemon "$SINGLE_PID"
+
+echo "== 3 workers + coordinator, each node at $RATE points/s"
+for addr in "$W1" "$W2" "$W3"; do
+    "$TMP/rrserved" -addr "$addr" -role worker -workers 2 -compute-rate "$RATE" &
+    PIDS+=($!)
+done
+for addr in "$W1" "$W2" "$W3"; do wait_ready "$addr"; done
+"$TMP/rrserved" -addr "$COORD" -role coordinator \
+    -cluster-workers "http://$W1,http://$W2,http://$W3" \
+    -queue 256 -workers 8 -compute-rate "$RATE" &
+PIDS+=($!)
+wait_ready "$COORD"
+load "$COORD" "serveload-cluster-3w-rate$RATE"
+
+echo "== points/s recorded in $OUT:"
+grep -B1 -A0 '"points/s"' "$OUT" | sed -n 's/.*"points\/s": *\([0-9.]*\).*/  \1/p'
+echo "cluster-bench: done"
