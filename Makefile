@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint-asm lint-asm-sarif bench bench-json bench-smoke examples figures data serve-smoke load-smoke cluster-smoke cluster-bench clean
+.PHONY: all build test test-race vet lint-asm lint-asm-sarif bench bench-json bench-smoke bench-gate examples figures data serve-smoke load-smoke cluster-smoke cluster-bench clean
 
 all: test
 
@@ -77,6 +77,12 @@ bench-json:
 # runs this; it is not a performance measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Serving-throughput regression gate: the pinned serve benchmarks must
+# stay within 15% of the best points/s recorded for this machine class
+# in the committed BENCH_*.json trajectory (no history = pass).
+bench-gate:
+	./scripts/bench_gate.sh
 
 # Run every example program.
 examples:

@@ -155,6 +155,112 @@ func BenchmarkServeGridOverlap(b *testing.B) {
 	b.Run("overlap50", func(b *testing.B) { benchServeOverlap(b, true) })
 }
 
+// The fidelity tiers head to head on a cold Figure-5-style grid: the
+// same 16-cell request submitted to a fresh daemon at each tier, with
+// points/s the client-observed rate. The analytic tier's points/s
+// should sit orders of magnitude (>= 50x) above the simulator's —
+// that gap is what the adaptive mode's instant first answer buys.
+func benchServeFidelity(b *testing.B, fidelity string) {
+	b.Helper()
+	const totalPoints = 16 // 1 F x 2 R x 4 L x 2 architectures
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := serve.New(serve.Config{
+			QueueCap:     8,
+			Workers:      2,
+			PointWorkers: 1,
+			JobTimeout:   time.Minute,
+			Logger:       log.New(io.Discard, "", 0),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Start()
+		req := serve.Request{Experiment: "figure5", Seed: uint64(i + 1),
+			Scale: "quick", Fidelity: fidelity,
+			F: []int{64}, R: []int{8, 32}, L: []int{16, 32, 64, 128}}
+		b.StartTimer()
+		j, _, err := s.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(time.Minute):
+			b.Fatalf("job %s stuck in state %s", j.ID, j.StateNow())
+		}
+		if st := j.StateNow(); st != serve.StateDone {
+			b.Fatalf("job state = %s", st)
+		}
+		b.StopTimer()
+		s.Shutdown(context.Background())
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(totalPoints)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// parkedLimiter blocks every fresh simulation until its job is
+// cancelled, so the adaptive-submit bench measures only the submit
+// path: refinement work never occupies the workers between
+// iterations.
+type parkedLimiter struct{}
+
+func (parkedLimiter) Acquire(ctx context.Context) { <-ctx.Done() }
+
+// The adaptive mode's submit-path latency: how long a client waits for
+// Submit to return with the complete analytic partial in hand. The
+// refinement is cancelled immediately — only the inline plan-assembly
+// cost is timed.
+func benchAdaptiveSubmit(b *testing.B) {
+	s, err := serve.New(serve.Config{
+		QueueCap:     64,
+		Workers:      2,
+		PointWorkers: 1,
+		JobTimeout:   time.Minute,
+		ComputeLimit: parkedLimiter{},
+		Logger:       log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Start()
+	defer s.Shutdown(context.Background())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh seed per iteration keeps every cache layer cold: the
+		// timed call pays the full analytic sweep, not a memoized one.
+		req := serve.Request{Experiment: "figure5", Seed: 1_000_000 + uint64(i),
+			Scale: "quick", Fidelity: "adaptive",
+			F: []int{64}, R: []int{8, 32}, L: []int{16, 32, 64, 128}}
+		j, _, err := s.Submit(req)
+		for err != nil {
+			// On a box with few cores the tight submit/cancel loop can
+			// outpace the workers draining cancelled jobs from the
+			// FIFO; that backpressure (429) is correct server behavior,
+			// not a benchmark failure. Yield off the clock and retry.
+			b.StopTimer()
+			time.Sleep(200 * time.Microsecond)
+			b.StartTimer()
+			j, _, err = s.Submit(req)
+		}
+		if len(j.Status(false).Partial) == 0 {
+			b.Fatal("submit returned without a partial")
+		}
+		b.StopTimer()
+		s.Cancel(j.ID)
+		<-j.Done()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkServeFidelity(b *testing.B) {
+	b.Run("sim", func(b *testing.B) { benchServeFidelity(b, "sim") })
+	b.Run("analytic", func(b *testing.B) { benchServeFidelity(b, "analytic") })
+	b.Run("adaptive-submit", benchAdaptiveSubmit)
+}
+
 // The serving layer under production-shaped load: many concurrent
 // clients (SetParallelism x GOMAXPROCS goroutines), half the
 // submissions repeating a small shared pool of grids (hitting the

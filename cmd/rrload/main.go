@@ -54,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		overlap  = fs.Float64("overlap", 0.5, "fraction of submissions drawn from a small shared grid pool (the rest are unique)")
 		expID    = fs.String("experiment", "figure5", "experiment ID to submit")
 		scale    = fs.String("scale", "quick", "sweep scale (quick or full)")
+		fidelity = fs.String("fidelity", "", "measurement tier on every submission: sim, machine, analytic, or adaptive (empty = server default)")
 		seed     = fs.Uint64("seed", 1, "base sweep seed")
 		tenants  = fs.Int("tenants", 1, "distinct X-RR-Tenant identities cycled across clients")
 		wait     = fs.Bool("wait", true, "poll each accepted job to a terminal state (time-to-result)")
@@ -109,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	gen := workload{expID: *expID, scale: *scale, seed: *seed, overlap: *overlap}
+	gen := workload{expID: *expID, scale: *scale, fidelity: *fidelity, seed: *seed, overlap: *overlap}
 	deadline := time.Now().Add(*duration)
 	records := make([][]submitRecord, *clients)
 	var wg sync.WaitGroup
@@ -163,11 +164,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 // rest (forcing cold simulation). Pool grids share F/R axes so even
 // distinct pool entries overlap at the point level.
 type workload struct {
-	expID   string
-	scale   string
-	seed    uint64
-	overlap float64
-	uniq    atomic.Uint64
+	expID    string
+	scale    string
+	fidelity string
+	seed     uint64
+	overlap  float64
+	uniq     atomic.Uint64
 }
 
 // wireRequest mirrors serve.Request's wire format; rrload speaks only
@@ -176,6 +178,7 @@ type wireRequest struct {
 	Experiment string `json:"experiment"`
 	Seed       uint64 `json:"seed"`
 	Scale      string `json:"scale,omitempty"`
+	Fidelity   string `json:"fidelity,omitempty"`
 	F          []int  `json:"f,omitempty"`
 	R          []int  `json:"r,omitempty"`
 	L          []int  `json:"l,omitempty"`
@@ -193,7 +196,7 @@ var poolGrids = [8]struct{ f, r, l []int }{
 }
 
 func (w *workload) next(rng *rand.Rand, client int) wireRequest {
-	req := wireRequest{Experiment: w.expID, Seed: w.seed, Scale: w.scale}
+	req := wireRequest{Experiment: w.expID, Seed: w.seed, Scale: w.scale, Fidelity: w.fidelity}
 	if rng.Float64() < w.overlap {
 		g := poolGrids[rng.Intn(len(poolGrids))]
 		req.F, req.R, req.L = g.f, g.r, g.l

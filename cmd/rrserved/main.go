@@ -89,6 +89,7 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 		clusterRetry  = fs.Int("cluster-retries", 0, "failed-batch re-sends against surviving workers (0 = 2, negative disables)")
 		probeInterval = fs.Duration("cluster-probe-interval", 0, "worker health probe spacing (0 = 2s)")
 		computeRate   = fs.Float64("compute-rate", 0, "cap fresh point simulations per second on this node (0 = unlimited); the per-node capacity model for cluster benchmarking")
+		fidelity      = fs.String("fidelity", "", "default measurement tier for submissions that do not set one: sim, machine, analytic, or adaptive (empty = sim)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -169,6 +170,7 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 		TenantMaxInflight: *tenantMax,
 		Logger:            logger,
 		ComputeLimit:      computeLimit,
+		DefaultFidelity:   *fidelity,
 	}
 	if cl != nil {
 		cfg.Remote = cl

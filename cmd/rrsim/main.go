@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		panel    = fs.String("panel", "", "panel for -format plot (e.g. F=128); empty plots all")
 		outDir   = fs.String("o", "", "also write <experiment>.csv files into this directory")
 		parallel = fs.Int("parallel", 0, "sweep-point workers: 0 = one per core, 1 = sequential")
+		fidelity = fs.String("fidelity", "sim", "measurement tier: sim, machine, or analytic (grid experiments only for non-sim)")
 		ptCache  = fs.String("pointcache", "", "directory memoizing per-point results across runs (incremental sweeps)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -116,6 +117,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	sc.Workers = *parallel
+	fid, err := experiment.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintf(stderr, "rrsim: %v\n", err)
+		return 2
+	}
+	sc.Fidelity = fid
 
 	// -pointcache memoizes individual sweep points on disk, so rerunning
 	// after an interrupted or partially overlapping sweep only simulates
@@ -161,6 +168,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	for _, e := range exps {
+		// Non-sim tiers flow through the grid sweep engine; experiments
+		// that build their own measurement closures would silently
+		// ignore the tier, so refuse (or skip, under -experiment all)
+		// rather than mislabel simulator output.
+		if fid != experiment.FidelitySim && e.RunGrid == nil {
+			if *expID == "all" {
+				fmt.Fprintf(stderr, "rrsim: %s: skipped (fidelity %s requires a grid sweep)\n", e.ID, fid)
+				continue
+			}
+			fmt.Fprintf(stderr, "rrsim: %s is not a grid sweep; fidelity %s requires one\n", e.ID, fid)
+			return 2
+		}
 		// Live progress (throttled) plus a wall-time summary per
 		// experiment, both on stderr so piped output stays clean. The
 		// hook rides on the per-run Scale, so concurrent runs (none

@@ -530,6 +530,7 @@ func (c *Client) send(ctx context.Context, sweep experiment.RemoteSweep, b batch
 	reqBody := computeRequest{
 		Experiment: sweep.Experiment,
 		Seed:       sweep.Seed,
+		Fidelity:   string(sweep.Fidelity),
 		Threads:    sweep.Threads,
 		WorkRuns:   sweep.WorkRuns,
 		MinWork:    sweep.MinWork,

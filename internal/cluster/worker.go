@@ -75,11 +75,21 @@ func (wk *Worker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// An unknown tier is a version-skewed or malformed request, not a
+	// reason to guess: refusing keeps "wrong tier" a visible 4xx
+	// instead of a silent key mismatch.
+	fid, err := experiment.ParseFidelity(req.Fidelity)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
 	cells := make([]experiment.Cell, len(req.Cells))
 	for i, c := range req.Cells {
 		cells[i] = experiment.Cell{F: c.F, R: c.R, L: c.L, Arch: c.Arch}
 	}
 	scale := experiment.Scale{
+		Fidelity:     fid,
 		Threads:      req.Threads,
 		WorkRuns:     req.WorkRuns,
 		MinWork:      req.MinWork,

@@ -21,6 +21,7 @@ func sweepCells(experimentID string, archs []archSpec, mkSpec specFn) func(uint6
 		archIndex[a.name] = i
 	}
 	return func(seed uint64, scale Scale, cells []Cell) ([]CellResult, error) {
+		fid := scale.fidelity()
 		pts := make([]point, len(cells))
 		for i, c := range cells {
 			ai, ok := archIndex[c.Arch]
@@ -35,29 +36,29 @@ func sweepCells(experimentID string, archs []archSpec, mkSpec specFn) func(uint6
 		err := scale.forEach(len(pts), func(i int) {
 			p := pts[i]
 			if store == nil {
-				results[i] = CellResult{Key: p.key, Data: encodeMeasurements(p.runLocal(scale))}
+				results[i] = CellResult{Key: p.key, Data: encodeMeasurements(fid, p.runLocal(scale))}
 				return
 			}
 			if store.Contains(p.key) {
 				if data, ok := store.Get(p.key); ok {
-					if _, decErr := decodeMeasurements(data); decErr == nil {
+					if _, decErr := decodeMeasurements(fid, data); decErr == nil {
 						results[i] = CellResult{Key: p.key, Data: data}
 						return
 					}
 				}
 			}
 			data, doErr := store.Do(p.key, func() ([]byte, error) {
-				return encodeMeasurements(p.runLocal(scale)), nil
+				return encodeMeasurements(fid, p.runLocal(scale)), nil
 			})
 			if doErr == nil {
-				if _, decErr := decodeMeasurements(data); decErr != nil {
+				if _, decErr := decodeMeasurements(fid, data); decErr != nil {
 					doErr = decErr
 				}
 			}
 			if doErr != nil {
 				// Joined a failed flight or shared undecodable bytes:
 				// recompute locally, same policy as executeSweep.
-				data = encodeMeasurements(p.runLocal(scale))
+				data = encodeMeasurements(fid, p.runLocal(scale))
 			}
 			results[i] = CellResult{Key: p.key, Data: data}
 		})

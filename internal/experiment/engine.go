@@ -97,6 +97,15 @@ func executeSweep(meta sweepMeta, scale Scale, pts []point) ([]Measurement, erro
 	results := make([][]Measurement, len(pts))
 	store := scale.PointStore
 	progress := scale.progressHook()
+	fid := scale.fidelity()
+	// onPoint forwards each filled cell to the scale's observer; the
+	// hook documents that calls may be concurrent, so no serialization
+	// here (unlike progress).
+	onPoint := func(ms []Measurement) {
+		if scale.OnPoint != nil {
+			scale.OnPoint(ms)
+		}
+	}
 
 	// Cached pre-pass: resolve every already-stored point up front, so
 	// the worker pool (and the progress denominator's remaining share)
@@ -110,8 +119,9 @@ func executeSweep(meta sweepMeta, scale Scale, pts []point) ([]Measurement, erro
 				// the store's miss counter belongs to the Do below, which
 				// is what actually pays for the simulation.
 				if data, ok := store.Get(k); ok {
-					if ms, err := decodeMeasurements(data); err == nil {
+					if ms, err := decodeMeasurements(fid, data); err == nil {
 						results[i] = ms
+						onPoint(ms)
 						continue
 					}
 					// Undecodable entry (e.g. written by a codec this
@@ -163,24 +173,29 @@ func executeSweep(meta sweepMeta, scale Scale, pts []point) ([]Measurement, erro
 				if !ok {
 					return // unknown or version-skewed key: ignore
 				}
-				ms, decErr := decodeMeasurements(data)
+				ms, decErr := decodeMeasurements(fid, data)
 				if decErr != nil {
 					return // undecodable bytes: cell falls back to local
 				}
-				filled := false
+				filled := 0
 				mu.Lock()
 				for _, i := range idxs {
 					if results[i] == nil {
 						results[i] = ms
 						done++
-						filled = true
+						filled++
 						if progress != nil {
 							progress(done, len(pts))
 						}
 					}
 				}
 				mu.Unlock()
-				if filled && store != nil {
+				// One observer call per filled grid cell, matching the
+				// cached and local paths (grids can repeat values).
+				for n := filled; n > 0; n-- {
+					onPoint(ms)
+				}
+				if filled > 0 && store != nil {
 					store.Put(key, data)
 				}
 			}
@@ -190,6 +205,7 @@ func executeSweep(meta sweepMeta, scale Scale, pts []point) ([]Measurement, erro
 			_ = scale.Remote.ComputePoints(scale.Context(), RemoteSweep{
 				Experiment: meta.experiment,
 				Seed:       meta.seed,
+				Fidelity:   fid,
 				Threads:    scale.Threads,
 				WorkRuns:   scale.WorkRuns,
 				MinWork:    scale.MinWork,
@@ -210,6 +226,7 @@ func executeSweep(meta sweepMeta, scale Scale, pts []point) ([]Measurement, erro
 		p := pts[i]
 		if store == nil || p.key == "" {
 			results[i] = p.runLocal(scale)
+			onPoint(results[i])
 			return
 		}
 		// Single-flight through the store: if a concurrent sweep is
@@ -220,11 +237,11 @@ func executeSweep(meta sweepMeta, scale Scale, pts []point) ([]Measurement, erro
 		var ms []Measurement
 		data, doErr := store.Do(p.key, func() ([]byte, error) {
 			ms = p.runLocal(scale)
-			return encodeMeasurements(ms), nil
+			return encodeMeasurements(fid, ms), nil
 		})
 		if ms == nil {
 			if doErr == nil {
-				ms, doErr = decodeMeasurements(data)
+				ms, doErr = decodeMeasurements(fid, data)
 			}
 			if doErr != nil {
 				// Joined a flight that failed, or shared bytes we cannot
@@ -233,6 +250,7 @@ func executeSweep(meta sweepMeta, scale Scale, pts []point) ([]Measurement, erro
 			}
 		}
 		results[i] = ms
+		onPoint(ms)
 	})
 
 	var out []Measurement

@@ -65,6 +65,21 @@ type Scale struct {
 	// Cache hits and remote results bypass it. Execution-only: not
 	// part of point keys.
 	ComputeLimit Limiter
+	// Fidelity selects the measurement backend producing each point:
+	// the node discrete-event simulator (FidelitySim, the default and
+	// the zero value), the instruction-level managed machine
+	// (FidelityMachine), or the closed-form analytic model
+	// (FidelityAnalytic). The tier shapes results, so it is part of
+	// every point's content address and codec header — tiers never
+	// share cache entries. See backend.go.
+	Fidelity Fidelity
+	// OnPoint, if non-nil, receives each resolved point's measurements
+	// as the sweep fills them in — cache hits, remote results, and
+	// local computations alike, one call per filled grid cell. Calls
+	// may arrive concurrently from worker goroutines and in any order;
+	// the hook must do its own locking and return quickly.
+	// Execution-only: not part of point keys.
+	OnPoint func(ms []Measurement)
 
 	// ctx carries cancellation into the engine; set via WithContext.
 	// nil means context.Background().
@@ -292,17 +307,13 @@ func panelName(f int) string { return fmt.Sprintf("F=%d", f) }
 // identical bytes.
 func cellPoint(experimentID string, seed uint64, scale Scale, f, r, l, ai int, a archSpec, mkSpec specFn) point {
 	spec := mkSpec(scale, r, l, scale.workPer(r))
-	panel := panelName(f)
+	be := backendFor(scale.fidelity())
 	return point{
 		seed: rng.DeriveSeed(seed, uint64(f), uint64(r), uint64(l), uint64(ai)),
 		key:  pointKey(experimentID, seed, scale, f, r, l, a.name),
 		cell: Cell{F: f, R: r, L: l, Arch: a.name},
 		run: func(pointSeed uint64) []Measurement {
-			res := node.Run(a.cfg(f), spec, pointSeed)
-			return []Measurement{{
-				Panel: panel, Arch: a.name, R: r, L: l, F: f,
-				Eff: res.Efficiency, Res: res,
-			}}
+			return be.Measure(a, f, r, l, spec, pointSeed)
 		},
 	}
 }

@@ -21,15 +21,33 @@ import (
 // pointCodecVersion is the first byte of every encoded entry. Bump it
 // together with pointSchema whenever Measurement or node.Result gain
 // or change fields (TestPointCodecCoversResultFields enforces the
-// field inventory).
-const pointCodecVersion = 1
+// field inventory). v2 added the fidelity tier tag as the second
+// byte.
+const pointCodecVersion = 2
 
-// encodeMeasurements serializes one point's measurements.
-func encodeMeasurements(ms []Measurement) []byte {
+// tierTag maps a fidelity tier to the codec's one-byte tag. The tag
+// is defence in depth: point keys already separate tiers, so a tag
+// mismatch at decode time means a corrupted or mis-addressed store —
+// decodeMeasurements rejects it rather than silently serving one
+// tier's numbers as another's.
+func tierTag(fid Fidelity) byte {
+	switch fid {
+	case FidelityMachine:
+		return 2
+	case FidelityAnalytic:
+		return 3
+	default: // FidelitySim and the zero value
+		return 1
+	}
+}
+
+// encodeMeasurements serializes one point's measurements, tagged with
+// the tier that produced them.
+func encodeMeasurements(fid Fidelity, ms []Measurement) []byte {
 	// Typical entry: one or two measurements, short strings; 64 bytes
 	// of headroom per measurement avoids regrowth.
-	buf := make([]byte, 0, 1+10+len(ms)*192)
-	buf = append(buf, pointCodecVersion)
+	buf := make([]byte, 0, 2+10+len(ms)*192)
+	buf = append(buf, pointCodecVersion, tierTag(fid))
 	buf = binary.AppendUvarint(buf, uint64(len(ms)))
 	for i := range ms {
 		buf = appendMeasurement(buf, &ms[i])
@@ -180,12 +198,22 @@ func (d *decoder) account(what string) *stats.CycleAccount {
 	}
 }
 
-// decodeMeasurements is encodeMeasurements' exact inverse.
-func decodeMeasurements(data []byte) ([]Measurement, error) {
+// decodeMeasurements is encodeMeasurements' exact inverse. The caller
+// states the tier it expects; an entry tagged with any other tier is
+// rejected, so an analytic point can never decode into a sim report
+// (or vice versa) even if a store were mis-addressed.
+func decodeMeasurements(fid Fidelity, data []byte) ([]Measurement, error) {
 	if len(data) == 0 || data[0] != pointCodecVersion {
 		return nil, fmt.Errorf("experiment: point entry codec version mismatch")
 	}
-	d := &decoder{buf: data[1:]}
+	if len(data) < 2 {
+		return nil, fmt.Errorf("experiment: point entry truncated at tier tag")
+	}
+	if data[1] != tierTag(fid) {
+		return nil, fmt.Errorf("experiment: point entry fidelity mismatch: tag %d, want %d (%s)",
+			data[1], tierTag(fid), fid)
+	}
+	d := &decoder{buf: data[2:]}
 	n := d.uvarint("count")
 	if d.err != nil {
 		return nil, d.err

@@ -41,7 +41,7 @@ func sampleMeasurements() []Measurement {
 // cold run.
 func TestPointCodecRoundTrip(t *testing.T) {
 	in := sampleMeasurements()
-	out, err := decodeMeasurements(encodeMeasurements(in))
+	out, err := decodeMeasurements(FidelitySim, encodeMeasurements(FidelitySim, in))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestPointCodecRoundTrip(t *testing.T) {
 		t.Fatalf("round trip not exact:\n in: %+v\nout: %+v", in, out)
 	}
 	// Empty point (a cell can legitimately produce no measurements).
-	if out, err := decodeMeasurements(encodeMeasurements(nil)); err != nil || len(out) != 0 {
+	if out, err := decodeMeasurements(FidelitySim, encodeMeasurements(FidelitySim, nil)); err != nil || len(out) != 0 {
 		t.Fatalf("empty round trip = %v, %v", out, err)
 	}
 }
@@ -58,21 +58,21 @@ func TestPointCodecRoundTrip(t *testing.T) {
 // of misreading: wrong version, truncation at any prefix, and trailing
 // bytes are all errors (the engine then recomputes the point).
 func TestPointCodecRejectsDamage(t *testing.T) {
-	data := encodeMeasurements(sampleMeasurements())
-	if _, err := decodeMeasurements(nil); err == nil {
+	data := encodeMeasurements(FidelitySim, sampleMeasurements())
+	if _, err := decodeMeasurements(FidelitySim, nil); err == nil {
 		t.Error("empty input accepted")
 	}
 	bad := append([]byte(nil), data...)
 	bad[0] = pointCodecVersion + 1
-	if _, err := decodeMeasurements(bad); err == nil {
+	if _, err := decodeMeasurements(FidelitySim, bad); err == nil {
 		t.Error("foreign codec version accepted")
 	}
 	for _, cut := range []int{1, 2, len(data) / 2, len(data) - 1} {
-		if _, err := decodeMeasurements(data[:cut]); err == nil {
+		if _, err := decodeMeasurements(FidelitySim, data[:cut]); err == nil {
 			t.Errorf("truncation at %d accepted", cut)
 		}
 	}
-	if _, err := decodeMeasurements(append(append([]byte(nil), data...), 0)); err == nil {
+	if _, err := decodeMeasurements(FidelitySim, append(append([]byte(nil), data...), 0)); err == nil {
 		t.Error("trailing bytes accepted")
 	}
 }

@@ -26,25 +26,28 @@ import (
 // pointSchema versions the key layout. Bump it whenever the preimage
 // below changes meaning (new coordinate, different work derivation):
 // a persisted point store must never alias entries across schemas.
-const pointSchema = "regreloc-point-v1"
+// v2 added the fidelity tier to the preimage.
+const pointSchema = "regreloc-point-v2"
 
 // pointKey returns the content address of the (f, r, l, arch) cell of
 // the given experiment at the given seed and scale. The scale enters
-// through the fields that shape the simulated population — Threads
-// and the per-thread work resolved for this run length — so two named
-// scales that resolve identically share entries, while Workers,
-// Progress, and context (execution-only knobs) are excluded.
+// through the fields that shape results — Threads, the per-thread
+// work resolved for this run length, and the fidelity tier — so two
+// named scales that resolve identically share entries, while Workers,
+// Progress, and context (execution-only knobs) are excluded. The tier
+// is in the preimage because the same cell measured by different
+// backends yields different bytes: tiers must never alias.
 func pointKey(experimentID string, seed uint64, scale Scale, f, r, l int, arch string) string {
-	return pointKeyWith(pointstore.EngineVersion(), experimentID, seed,
+	return pointKeyWith(pointstore.EngineVersion(), scale.fidelity(), experimentID, seed,
 		scale.Threads, scale.workPer(r), f, r, l, arch)
 }
 
 // pointKeyWith is pointKey with the engine version injected, so tests
 // can pin cross-version distinctness without rebuilding the binary.
-func pointKeyWith(engine, experimentID string, seed uint64, threads int, work int64, f, r, l int, arch string) string {
+func pointKeyWith(engine string, fid Fidelity, experimentID string, seed uint64, threads int, work int64, f, r, l int, arch string) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\nengine=%s\nexperiment=%s\nseed=%d\nthreads=%d\nwork=%d\nf=%d\nr=%d\nl=%d\narch=%s\n",
-		pointSchema, engine, experimentID, seed, threads, work, f, r, l, arch)
+	fmt.Fprintf(h, "%s\nengine=%s\nfidelity=%s\nexperiment=%s\nseed=%d\nthreads=%d\nwork=%d\nf=%d\nr=%d\nl=%d\narch=%s\n",
+		pointSchema, engine, fid, experimentID, seed, threads, work, f, r, l, arch)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

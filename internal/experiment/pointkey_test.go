@@ -47,18 +47,19 @@ func TestPointKeyIgnoresGridShape(t *testing.T) {
 
 func TestPointKeyDistinctness(t *testing.T) {
 	base := func() string {
-		return pointKeyWith("engine-a", "figure5", 1, 32, 2000, 64, 8, 16, "fixed")
+		return pointKeyWith("engine-a", FidelitySim, "figure5", 1, 32, 2000, 64, 8, 16, "fixed")
 	}
 	variants := map[string]string{
-		"engine":     pointKeyWith("engine-b", "figure5", 1, 32, 2000, 64, 8, 16, "fixed"),
-		"experiment": pointKeyWith("engine-a", "figure6", 1, 32, 2000, 64, 8, 16, "fixed"),
-		"seed":       pointKeyWith("engine-a", "figure5", 2, 32, 2000, 64, 8, 16, "fixed"),
-		"threads":    pointKeyWith("engine-a", "figure5", 1, 64, 2000, 64, 8, 16, "fixed"),
-		"work":       pointKeyWith("engine-a", "figure5", 1, 32, 2001, 64, 8, 16, "fixed"),
-		"f":          pointKeyWith("engine-a", "figure5", 1, 32, 2000, 128, 8, 16, "fixed"),
-		"r":          pointKeyWith("engine-a", "figure5", 1, 32, 2000, 64, 32, 16, "fixed"),
-		"l":          pointKeyWith("engine-a", "figure5", 1, 32, 2000, 64, 8, 32, "fixed"),
-		"arch":       pointKeyWith("engine-a", "figure5", 1, 32, 2000, 64, 8, 16, "flexible"),
+		"engine":     pointKeyWith("engine-b", FidelitySim, "figure5", 1, 32, 2000, 64, 8, 16, "fixed"),
+		"experiment": pointKeyWith("engine-a", FidelitySim, "figure6", 1, 32, 2000, 64, 8, 16, "fixed"),
+		"seed":       pointKeyWith("engine-a", FidelitySim, "figure5", 2, 32, 2000, 64, 8, 16, "fixed"),
+		"threads":    pointKeyWith("engine-a", FidelitySim, "figure5", 1, 64, 2000, 64, 8, 16, "fixed"),
+		"work":       pointKeyWith("engine-a", FidelitySim, "figure5", 1, 32, 2001, 64, 8, 16, "fixed"),
+		"f":          pointKeyWith("engine-a", FidelitySim, "figure5", 1, 32, 2000, 128, 8, 16, "fixed"),
+		"r":          pointKeyWith("engine-a", FidelitySim, "figure5", 1, 32, 2000, 64, 32, 16, "fixed"),
+		"l":          pointKeyWith("engine-a", FidelitySim, "figure5", 1, 32, 2000, 64, 8, 32, "fixed"),
+		"arch":       pointKeyWith("engine-a", FidelitySim, "figure5", 1, 32, 2000, 64, 8, 16, "flexible"),
+		"fidelity":   pointKeyWith("engine-a", FidelityAnalytic, "figure5", 1, 32, 2000, 64, 8, 16, "fixed"),
 	}
 	seen := map[string]string{base(): "base"}
 	for what, k := range variants {

@@ -46,12 +46,16 @@ type RemotePoint struct {
 }
 
 // RemoteSweep is one sweep's worth of remote compute work: the
-// experiment and the scale fields that shape results (Threads,
-// WorkRuns, MinWork — exactly the fields that enter point keys), plus
-// the points still missing after the local cache pre-pass.
+// experiment and the scale fields that shape results (Fidelity,
+// Threads, WorkRuns, MinWork — exactly the fields that enter point
+// keys), plus the points still missing after the local cache
+// pre-pass. Fidelity must travel so a worker computes the requested
+// tier; a worker that ignored it would derive different point keys
+// and its results would be dropped as unknown.
 type RemoteSweep struct {
 	Experiment string
 	Seed       uint64
+	Fidelity   Fidelity
 	Threads    int
 	WorkRuns   int64
 	MinWork    int64

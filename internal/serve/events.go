@@ -35,7 +35,45 @@ const (
 	// EventState reports a lifecycle transition; the terminal one
 	// (done/failed/canceled) is always the stream's last event.
 	EventState = "state"
+	// EventPartial announces an adaptive job's immediate analytic
+	// answer. It is always event 1 on an adaptive job — before the
+	// queued-state event — so a subscriber never sees the job without
+	// knowing a partial result is already fetchable.
+	EventPartial = "partial"
+	// EventCells carries a batch of simulator-refined cells of an
+	// adaptive job, each with its analytic prediction and the absolute
+	// error between the two.
+	EventCells = "cells"
+	// EventBounds publishes an adaptive job's final measured error
+	// bounds, immediately before the terminal state event.
+	EventBounds = "bounds"
 )
+
+// CellDelta is one refined grid cell of an adaptive job: the
+// simulator's efficiency next to the analytic prediction it replaces.
+type CellDelta struct {
+	Panel    string  `json:"panel"`
+	Arch     string  `json:"arch"`
+	F        int     `json:"f"`
+	R        int     `json:"r"`
+	L        int     `json:"l"`
+	Eff      float64 `json:"eff"`
+	Analytic float64 `json:"analytic"`
+	AbsErr   float64 `json:"abs_err"`
+}
+
+// ErrorBounds summarizes how far an adaptive job's analytic answer
+// was from the simulator's ground truth. CalibratedMaxAbs is the
+// offline-calibrated bound published by the fidelity-error experiment;
+// MaxAbs/MeanAbs are this job's measured values. PerCell lists every
+// refined cell's delta when the job is small enough to keep them all.
+type ErrorBounds struct {
+	Cells            int         `json:"cells"`
+	MaxAbs           float64     `json:"max_abs"`
+	MeanAbs          float64     `json:"mean_abs"`
+	CalibratedMaxAbs float64     `json:"calibrated_max_abs"`
+	PerCell          []CellDelta `json:"per_cell,omitempty"`
+}
 
 // Event is one entry in a job's event log. IDs are per-job, start at
 // 1, and increase by 1 — the contract Last-Event-ID resumption relies
@@ -50,6 +88,13 @@ type Event struct {
 	// Cached marks a state event for a job answered entirely from the
 	// report cache.
 	Cached bool `json:"cached,omitempty"`
+	// Fidelity tags a partial event with the tier that produced the
+	// partial ("analytic"); Total carries its cell count.
+	Fidelity string `json:"fidelity,omitempty"`
+	// Cells carries a refined-cell batch (cells events only).
+	Cells []CellDelta `json:"cells,omitempty"`
+	// Bounds carries the final error bounds (bounds events only).
+	Bounds *ErrorBounds `json:"bounds,omitempty"`
 }
 
 // appendEventLocked assigns the next ID, stores the event, and wakes

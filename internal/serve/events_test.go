@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -168,7 +169,7 @@ func TestSSEReconnectResumes(t *testing.T) {
 		t.Fatalf("resume from %d returned %d events, want %d", mid, len(resumed), len(wantSuffix))
 	}
 	for i := range resumed {
-		if resumed[i] != wantSuffix[i] {
+		if !reflect.DeepEqual(resumed[i], wantSuffix[i]) {
 			t.Errorf("resumed[%d] = %+v, want %+v", i, resumed[i], wantSuffix[i])
 		}
 	}

@@ -37,6 +37,15 @@ type Request struct {
 	F []int `json:"f,omitempty"`
 	R []int `json:"r,omitempty"`
 	L []int `json:"l,omitempty"`
+	// Fidelity selects the measurement tier: "sim" (default, the
+	// discrete-event simulator), "machine" (instruction-level managed
+	// machine), "analytic" (closed-form model, microseconds per
+	// point), or "adaptive" (an immediate analytic answer refined to
+	// the byte-identical sim report in the background; see job
+	// partials and the cells/bounds events). Non-sim tiers require a
+	// grid sweep experiment. Part of the cache identity: tiers never
+	// share results.
+	Fidelity string `json:"fidelity,omitempty"`
 
 	// Tenant is the admission-control bucket the submission bills
 	// against, derived from the X-RR-Tenant header — never from the
@@ -75,21 +84,58 @@ func (q Request) tenantName() string {
 // simulation cells.
 const maxGridLen = 32
 
-// normalize fills defaults (scale quick) so that equivalent requests
-// share one canonical form and therefore one cache key.
+// normalize fills defaults (scale quick, fidelity sim) so that
+// equivalent requests share one canonical form and therefore one
+// cache key.
 func (q Request) normalize() Request {
 	if q.Scale == "" {
 		q.Scale = "quick"
 	}
+	if q.Fidelity == "" {
+		q.Fidelity = "sim"
+	}
 	return q
+}
+
+// adaptive reports whether the request asked for the analytic-first
+// serving mode.
+func (q Request) adaptive() bool { return q.Fidelity == "adaptive" }
+
+// engineFidelity maps the request's tier to the one the engine runs
+// for the job body. Adaptive jobs run the simulator: their analytic
+// answer is a separate synchronous pass on the submit path, and the
+// job's own work is the refinement that converges on the sim report.
+func (q Request) engineFidelity() experiment.Fidelity {
+	switch q.Fidelity {
+	case "machine":
+		return experiment.FidelityMachine
+	case "analytic":
+		return experiment.FidelityAnalytic
+	default: // "", "sim", "adaptive"
+		return experiment.FidelitySim
+	}
+}
+
+// simKey returns the cache key of the sim-tier twin of an adaptive
+// request. An adaptive job's converged result IS the sim report, byte
+// for byte, so completing one may warm the sim entry too (ok=false
+// for non-adaptive requests).
+func (q Request) simKey() (string, bool) {
+	if !q.adaptive() {
+		return "", false
+	}
+	q.Fidelity = "sim"
+	return q.Key(), true
 }
 
 // scale resolves the request's named scale. Callers validate first.
 func (q Request) scale() experiment.Scale {
+	sc := experiment.Quick
 	if q.Scale == "full" {
-		return experiment.Full
+		sc = experiment.Full
 	}
-	return experiment.Quick
+	sc.Fidelity = q.engineFidelity()
+	return sc
 }
 
 func (q Request) grids() experiment.Grids {
@@ -112,6 +158,18 @@ func (q Request) validate() error {
 	}
 	if !q.grids().Empty() && e.RunGrid == nil {
 		return fmt.Errorf("experiment %q does not accept grid overrides", q.Experiment)
+	}
+	switch q.Fidelity {
+	case "", "sim":
+	case "machine", "analytic", "adaptive":
+		// Non-sim tiers flow through the grid sweep engine (cellPoint
+		// dispatches on Scale.Fidelity); heterogeneous experiments build
+		// their own closures and would silently ignore the tier.
+		if e.RunGrid == nil {
+			return fmt.Errorf("experiment %q is not a grid sweep; fidelity %q requires one", q.Experiment, q.Fidelity)
+		}
+	default:
+		return fmt.Errorf("unknown fidelity %q (want sim, machine, analytic, or adaptive)", q.Fidelity)
 	}
 	for _, axis := range []struct {
 		name string
@@ -137,8 +195,9 @@ func (q Request) validate() error {
 // cacheSchema versions the canonical key layout. Bump it whenever an
 // engine change alters the bytes a request produces (simulator
 // semantics, default grids, report encoding): the disk tier outlives
-// the process, and a stale key must never match a new request.
-const cacheSchema = "regreloc-job-v2"
+// the process, and a stale key must never match a new request. v3
+// added the fidelity tier.
+const cacheSchema = "regreloc-job-v3"
 
 // Key returns the request's content address: a SHA-256 over the
 // canonical form of every field that influences the result bytes,
@@ -150,8 +209,8 @@ const cacheSchema = "regreloc-job-v2"
 func (q Request) Key() string {
 	q = q.normalize()
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\nengine=%s\nexperiment=%s\nseed=%d\nscale=%s\nf=%v\nr=%v\nl=%v\n",
-		cacheSchema, pointstore.EngineVersion(), q.Experiment, q.Seed, q.Scale, q.F, q.R, q.L)
+	fmt.Fprintf(h, "%s\nengine=%s\nexperiment=%s\nseed=%d\nscale=%s\nfidelity=%s\nf=%v\nr=%v\nl=%v\n",
+		cacheSchema, pointstore.EngineVersion(), q.Experiment, q.Seed, q.Scale, q.Fidelity, q.F, q.R, q.L)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -216,6 +275,112 @@ type Job struct {
 	eventSeq      int64
 	eventWake     chan struct{}
 	progLastEvent int
+
+	// Adaptive-mode state. partial is the immediate analytic report
+	// served while the simulator refines; analyticEff indexes its
+	// per-cell efficiencies (nil on non-adaptive jobs, and the guard
+	// every refinement method checks). refineBuf batches refined cells
+	// into "cells" events; the delta accumulators and allDeltas feed
+	// the final error bounds.
+	partial     []byte
+	analyticEff map[string]float64
+	refineBuf   []CellDelta
+	allDeltas   []CellDelta
+	deltaN      int
+	deltaSum    float64
+	deltaMax    float64
+	bounds      *ErrorBounds
+}
+
+// cellID names one grid cell for the analytic index; panel and arch
+// cannot contain '|' (panel is "F=%d", archs are registered names).
+func cellID(panel, arch string, f, r, l int) string {
+	return fmt.Sprintf("%s|%s|%d|%d|%d", panel, arch, f, r, l)
+}
+
+// maxBoundsCells caps the per-cell delta list attached to the final
+// error bounds; larger jobs still get the summary (max/mean), their
+// per-cell deltas live only in the streamed cells events.
+const maxBoundsCells = 2048
+
+// noteRefined records simulator-tier measurements as they land on an
+// adaptive job, computing each cell's delta against the analytic
+// answer and batching cells events (one per ~1/64th of the plan).
+// Called concurrently from engine workers via Scale.OnPoint; no-op
+// after the job reached a terminal state (cancellation stops the
+// stream even while stragglers finish). Returns the recorded deltas
+// so the caller can feed metrics outside the job lock.
+func (j *Job) noteRefined(ms []experiment.Measurement) []CellDelta {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.analyticEff == nil || j.state.terminal() {
+		return nil
+	}
+	var out []CellDelta
+	for _, m := range ms {
+		a, ok := j.analyticEff[cellID(m.Panel, m.Arch, m.F, m.R, m.L)]
+		if !ok {
+			continue // cell outside the analytic grid (defensive)
+		}
+		d := CellDelta{
+			Panel: m.Panel, Arch: m.Arch, F: m.F, R: m.R, L: m.L,
+			Eff: m.Eff, Analytic: a, AbsErr: absDiff(m.Eff, a),
+		}
+		j.refineBuf = append(j.refineBuf, d)
+		j.deltaN++
+		j.deltaSum += d.AbsErr
+		if d.AbsErr > j.deltaMax {
+			j.deltaMax = d.AbsErr
+		}
+		if len(j.allDeltas) < maxBoundsCells {
+			j.allDeltas = append(j.allDeltas, d)
+		}
+		out = append(out, d)
+	}
+	batch := j.planPoints / 64
+	if batch < 1 {
+		batch = 1
+	}
+	if len(j.refineBuf) >= batch {
+		j.appendEventLocked(Event{Type: EventCells, Cells: j.refineBuf})
+		j.refineBuf = nil
+	}
+	return out
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// finishRefinement flushes the remaining refined cells and publishes
+// the job's error bounds, as the last events before the terminal
+// state event. No-op unless the job is adaptive and still running.
+func (j *Job) finishRefinement() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.analyticEff == nil || j.state.terminal() {
+		return
+	}
+	if len(j.refineBuf) > 0 {
+		j.appendEventLocked(Event{Type: EventCells, Cells: j.refineBuf})
+		j.refineBuf = nil
+	}
+	b := &ErrorBounds{
+		Cells:            j.deltaN,
+		MaxAbs:           j.deltaMax,
+		CalibratedMaxAbs: experiment.AnalyticCalibratedMaxAbs,
+	}
+	if j.deltaN > 0 {
+		b.MeanAbs = j.deltaSum / float64(j.deltaN)
+	}
+	if j.deltaN > 0 && j.deltaN == len(j.allDeltas) {
+		b.PerCell = j.allDeltas
+	}
+	j.bounds = b
+	j.appendEventLocked(Event{Type: EventBounds, Bounds: b})
 }
 
 // markEnqueued stamps the queue-entry time, for the queue-wait
@@ -261,6 +426,7 @@ type Status struct {
 	Experiment string          `json:"experiment"`
 	Seed       uint64          `json:"seed"`
 	Scale      string          `json:"scale"`
+	Fidelity   string          `json:"fidelity,omitempty"`
 	Tenant     string          `json:"tenant,omitempty"`
 	State      State           `json:"state"`
 	Cached     bool            `json:"cached"`
@@ -270,7 +436,13 @@ type Status struct {
 	Plan       *Plan           `json:"plan,omitempty"`
 	CreatedAt  time.Time       `json:"created_at"`
 	ElapsedMS  int64           `json:"elapsed_ms,omitempty"`
-	Result     json.RawMessage `json:"result,omitempty"`
+	// Partial is the immediate analytic report of an adaptive job,
+	// available from the moment Submit returns and dropped once the
+	// refined Result lands. Bounds are the refinement's measured
+	// analytic-vs-sim error, published when the job completes.
+	Partial json.RawMessage `json:"partial,omitempty"`
+	Bounds  *ErrorBounds    `json:"bounds,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
 }
 
 func (j *Job) setProgress(done, total int) {
@@ -370,6 +542,7 @@ func (j *Job) Status(withResult bool) Status {
 		Experiment: req.Experiment,
 		Seed:       req.Seed,
 		Scale:      req.Scale,
+		Fidelity:   req.Fidelity,
 		Tenant:     j.tenant,
 		State:      j.state,
 		Cached:     j.cached,
@@ -389,6 +562,12 @@ func (j *Job) Status(withResult bool) Status {
 			end = time.Now()
 		}
 		st.ElapsedMS = end.Sub(j.started).Milliseconds()
+	}
+	if j.partial != nil && j.state != StateDone {
+		st.Partial = json.RawMessage(j.partial)
+	}
+	if j.bounds != nil {
+		st.Bounds = j.bounds
 	}
 	if withResult && j.state == StateDone {
 		st.Result = json.RawMessage(j.result)

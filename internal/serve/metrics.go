@@ -24,6 +24,11 @@ var submitBounds = []float64{0.0005, 0.002, 0.01, 0.05, 0.25, 1, 5}
 // idle-pool microseconds to minutes of backlog.
 var queueWaitBounds = []float64{0.001, 0.01, 0.1, 0.5, 2, 10, 60, 300}
 
+// fidelityErrBounds bucket the per-cell |analytic − sim| efficiency
+// deltas observed during adaptive refinement. Efficiency is in [0, 1],
+// so these cover "model is excellent" through "model missed badly".
+var fidelityErrBounds = []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5}
+
 // maxTenantSeries bounds the per-tenant counter map so header-derived
 // tenant names cannot grow the metrics endpoint without limit; past
 // it new tenants aggregate under the "other" label.
@@ -53,6 +58,10 @@ type metrics struct {
 	queueWait *stats.Histogram            // enqueue → worker pickup
 
 	tenants map[string]*tenantCounters // per-tenant submission outcomes
+
+	fidelityJobs map[string]int64 // admitted jobs by requested fidelity tier
+	refinedCells int64            // adaptive cells refined by the simulator
+	fidelityErr  *stats.Histogram // |analytic − sim| per refined cell
 }
 
 // tenantCounters are one tenant's submission outcomes, labelled by
@@ -64,11 +73,13 @@ type tenantCounters struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		byState:   make(map[State]int64),
-		latency:   make(map[string]*stats.Histogram),
-		submitDur: stats.NewHistogram(submitBounds...),
-		queueWait: stats.NewHistogram(queueWaitBounds...),
-		tenants:   make(map[string]*tenantCounters),
+		byState:      make(map[State]int64),
+		latency:      make(map[string]*stats.Histogram),
+		submitDur:    stats.NewHistogram(submitBounds...),
+		queueWait:    stats.NewHistogram(queueWaitBounds...),
+		tenants:      make(map[string]*tenantCounters),
+		fidelityJobs: make(map[string]int64),
+		fidelityErr:  stats.NewHistogram(fidelityErrBounds...),
 	}
 }
 
@@ -120,6 +131,24 @@ func (m *metrics) addPoints(n int64) {
 }
 
 func (m *metrics) jobStarted() { m.mu.Lock(); m.running++; m.mu.Unlock() }
+
+// incFidelityJob counts one accepted submission by requested tier
+// (including cache hits and coalesced riders: the label reflects what
+// clients ask for, not what the engine ran).
+func (m *metrics) incFidelityJob(fidelity string) {
+	m.mu.Lock()
+	m.fidelityJobs[fidelity]++
+	m.mu.Unlock()
+}
+
+// observeRefined records one adaptive-refinement cell: the simulator
+// replaced an analytic prediction that was off by absErr.
+func (m *metrics) observeRefined(absErr float64) {
+	m.mu.Lock()
+	m.refinedCells++
+	m.fidelityErr.Observe(absErr)
+	m.mu.Unlock()
+}
 
 // addPlan records one admitted job's point-store plan: planned points
 // addressed and how many the store already covered.
@@ -229,6 +258,13 @@ func (m *metrics) writeProm(w io.Writer, g gauges) {
 
 	counter("rrserve_plan_points_total", "Sweep points addressed by admitted jobs' point-store plans.", m.planPoints)
 	counter("rrserve_plan_cached_points_total", "Planned points already covered by the point store at admission.", m.planCached)
+
+	fmt.Fprintf(w, "# HELP rrserve_fidelity_jobs_total Accepted submissions by requested fidelity tier.\n# TYPE rrserve_fidelity_jobs_total counter\n")
+	for _, fid := range []string{"sim", "machine", "analytic", "adaptive"} {
+		fmt.Fprintf(w, "rrserve_fidelity_jobs_total{fidelity=%q} %d\n", fid, m.fidelityJobs[fid])
+	}
+	counter("rrserve_fidelity_refined_cells_total", "Adaptive-job cells refined from analytic to simulator fidelity.", m.refinedCells)
+	writeHistogram(w, "rrserve_fidelity_error_abs", "Absolute analytic-vs-simulator efficiency error per refined cell.", m.fidelityErr)
 
 	if g.pointStore {
 		counter("rrserve_pointstore_hits_total", "Point-store lookups answered from memory or verified disk.", g.points.Hits)

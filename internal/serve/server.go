@@ -60,6 +60,11 @@ type Config struct {
 	MaxJobs int
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// DefaultFidelity, when non-empty, is applied to submissions that
+	// do not name a measurement tier themselves: "sim", "machine",
+	// "analytic", or "adaptive". Empty keeps the wire default ("sim").
+	// An explicit request fidelity always wins.
+	DefaultFidelity string
 	// TenantWeights maps tenant names (X-RR-Tenant header values) to
 	// dequeue weights for the admission queue's stride scheduler: under
 	// backlog a weight-4 tenant's jobs are dispatched 4× as often as a
@@ -165,6 +170,11 @@ type Server struct {
 // Start to launch the workers.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	switch cfg.DefaultFidelity {
+	case "", "sim", "machine", "analytic", "adaptive":
+	default:
+		return nil, fmt.Errorf("serve: unknown default fidelity %q (want sim, machine, analytic, or adaptive)", cfg.DefaultFidelity)
+	}
 	cache, err := NewCache(cfg.CacheBytes, cfg.CacheDir)
 	if err != nil {
 		return nil, err
@@ -295,6 +305,9 @@ func (s *Server) Submit(req Request) (*Job, int, error) {
 }
 
 func (s *Server) submit(req Request) (*Job, int, error) {
+	if req.Fidelity == "" && s.cfg.DefaultFidelity != "" {
+		req.Fidelity = s.cfg.DefaultFidelity
+	}
 	if err := req.validate(); err != nil {
 		return nil, http.StatusBadRequest, err
 	}
@@ -303,7 +316,9 @@ func (s *Server) submit(req Request) (*Job, int, error) {
 
 	// Plan the request against the point store before taking the
 	// server lock: computing a large grid's keys is pure hashing, and
-	// coverage only needs the store's own lock.
+	// coverage only needs the store's own lock. For adaptive requests
+	// the plan covers the sim tier — the refinement the job will run —
+	// because req.scale() resolves adaptive to the simulator.
 	var keys []string
 	var planned, covered int
 	if s.points != nil {
@@ -314,7 +329,23 @@ func (s *Server) submit(req Request) (*Job, int, error) {
 		}
 	}
 
-	j, status, inline, err := s.admit(req, key, planned, covered)
+	// Adaptive submissions get their analytic answer right here on the
+	// submit path, before admission: the closed-form tier costs
+	// microseconds per cell, so the client leaves with a complete
+	// approximate report no matter what the queue looks like.
+	var partial *partialResult
+	if req.adaptive() {
+		p, err := s.analyticPhase(req)
+		if err != nil {
+			return nil, http.StatusInternalServerError, fmt.Errorf("analytic phase: %w", err)
+		}
+		partial = p
+	}
+
+	j, status, inline, err := s.admit(req, key, planned, covered, partial)
+	if err == nil {
+		s.met.incFidelityJob(req.Fidelity)
+	}
 	if !inline {
 		return j, status, err
 	}
@@ -368,7 +399,7 @@ func (s *Server) dropJob(j *Job) {
 // job was admitted for synchronous point-store assembly (registered
 // in-flight and holding a tenant slot, but not queued); the caller
 // must then run or requeue it.
-func (s *Server) admit(req Request, key string, planned, covered int) (j *Job, status int, inline bool, err error) {
+func (s *Server) admit(req Request, key string, planned, covered int, partial *partialResult) (j *Job, status int, inline bool, err error) {
 	tenant := req.tenantName()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -391,7 +422,9 @@ func (s *Server) admit(req Request, key string, planned, covered int) (j *Job, s
 	// Content-addressed cache: the result already exists; materialize
 	// a terminal job so the client gets the uniform job interface.
 	if data, ok := s.cache.Get(key); ok {
-		j := s.newJobLocked(key, req, planned, covered)
+		// The refined result already exists, so an adaptive partial
+		// would only be a worse answer to the same question: drop it.
+		j := s.newJobLocked(key, req, planned, covered, nil)
 		j.cached = true
 		j.state = StateDone
 		j.result = data
@@ -417,14 +450,14 @@ func (s *Server) admit(req Request, key string, planned, covered int) (j *Job, s
 	// shape, or evicted) but every point the request addresses is
 	// already stored. Hand the job back for inline assembly.
 	if planned > 0 && covered == planned {
-		j := s.newJobLocked(key, req, planned, covered)
+		j := s.newJobLocked(key, req, planned, covered, partial)
 		s.inflight[key] = j
 		s.met.incSubmitted()
 		return j, http.StatusOK, true, nil
 	}
 
 	// Bounded, tenant-fair queue with backpressure.
-	j = s.newJobLocked(key, req, planned, covered)
+	j = s.newJobLocked(key, req, planned, covered, partial)
 	if qerr := s.queue.enqueue(j); qerr != nil {
 		delete(s.jobs, j.ID)
 		s.order = s.order[:len(s.order)-1]
@@ -439,8 +472,11 @@ func (s *Server) admit(req Request, key string, planned, covered int) (j *Job, s
 	return j, http.StatusCreated, false, nil
 }
 
-// newJobLocked allocates and registers a job. Caller holds s.mu.
-func (s *Server) newJobLocked(key string, req Request, planned, covered int) *Job {
+// newJobLocked allocates and registers a job. Caller holds s.mu. A
+// non-nil partial makes the job adaptive: the analytic answer attaches
+// before any other event, so EventPartial is always event 1 and every
+// subscriber knows a partial is fetchable before they see the job move.
+func (s *Server) newJobLocked(key string, req Request, planned, covered int, partial *partialResult) *Job {
 	s.nextID++
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &Job{
@@ -457,9 +493,50 @@ func (s *Server) newJobLocked(key string, req Request, planned, covered int) *Jo
 		eventWake:  make(chan struct{}),
 		state:      StateQueued,
 	}
+	if partial != nil {
+		j.partial = partial.data
+		j.analyticEff = partial.eff
+		j.appendEventLocked(Event{Type: EventPartial, Fidelity: "analytic", Total: partial.cells})
+	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	return j
+}
+
+// partialResult is the submit-path analytic answer of an adaptive job:
+// the encoded report plus the per-cell efficiency index the refinement
+// compares simulator points against.
+type partialResult struct {
+	data  []byte
+	eff   map[string]float64
+	cells int
+}
+
+// analyticPhase runs an adaptive request's grid through the analytic
+// backend synchronously. It shares the server's point store, so
+// repeated adaptive submissions over overlapping grids assemble their
+// partials from cached analytic-tier points.
+func (s *Server) analyticPhase(req Request) (*partialResult, error) {
+	e, ok := experiment.Get(req.Experiment)
+	if !ok || e.RunGrid == nil {
+		return nil, fmt.Errorf("experiment %q has no grid sweep", req.Experiment)
+	}
+	sc := req.scale()
+	sc.Fidelity = experiment.FidelityAnalytic
+	sc.PointStore = s.points
+	rep := e.RunGrid(req.Seed, sc, req.grids())
+	if rep.Err != nil {
+		return nil, rep.Err
+	}
+	data, err := encodeReport(rep)
+	if err != nil {
+		return nil, err
+	}
+	eff := make(map[string]float64, len(rep.Points))
+	for _, m := range rep.Points {
+		eff[cellID(m.Panel, m.Arch, m.F, m.R, m.L)] = m.Eff
+	}
+	return &partialResult{data: data, eff: eff, cells: len(rep.Points)}, nil
 }
 
 // pruneJobsLocked bounds the job table: terminal jobs past the
@@ -576,6 +653,12 @@ func (s *Server) runOne(j *Job) {
 	case err == nil:
 		final = StateDone
 		s.cache.Put(j.Key, data)
+		if sk, ok := j.Req.simKey(); ok {
+			// An adaptive job's converged bytes ARE the sim report; warm
+			// the sim-tier twin so a later fidelity=sim submission of the
+			// same request is a cache hit.
+			s.cache.Put(sk, data)
+		}
 		j.finalize(StateDone, data, nil)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		final = StateCanceled
@@ -604,6 +687,15 @@ func (s *Server) runExperiment(ctx context.Context, j *Job) ([]byte, int, error)
 	sc.PointStore = s.points
 	sc.Remote = s.cfg.Remote
 	sc.ComputeLimit = s.cfg.ComputeLimit
+	if j.Req.adaptive() {
+		// Stream each simulator cell as it lands: the job compares it
+		// against its analytic prediction and batches cells events.
+		sc.OnPoint = func(ms []experiment.Measurement) {
+			for _, d := range j.noteRefined(ms) {
+				s.met.observeRefined(d.AbsErr)
+			}
+		}
+	}
 	sc = sc.WithContext(ctx)
 
 	var rep *experiment.Report
@@ -618,6 +710,11 @@ func (s *Server) runExperiment(ctx context.Context, j *Job) ([]byte, int, error)
 	data, err := encodeReport(rep)
 	if err != nil {
 		return nil, len(rep.Points), err
+	}
+	if j.Req.adaptive() {
+		// Flush the refined-cell buffer and publish the measured error
+		// bounds before runOne appends the terminal state event.
+		j.finishRefinement()
 	}
 	return data, len(rep.Points), nil
 }

@@ -1,0 +1,25 @@
+#!/bin/sh
+# bench_gate.sh — the serving-throughput regression gate.
+#
+# Runs the pinned serving benchmarks and compares their points/s
+# against the best value recorded in the committed BENCH_*.json
+# trajectory for this machine class (cpu-string match). A drop of more
+# than DROP (default 15%) fails; a machine with no recorded history
+# passes with a note, so the gate is safe on any box.
+#
+# Usage:
+#   scripts/bench_gate.sh            # gate the pinned benches
+#   DROP=0.25 scripts/bench_gate.sh  # loosen the threshold
+#
+# GATE_BENCHES overrides the benchmark selection; GATE_REQUIRE names
+# benchmarks that must be present in the run (catches a silently
+# renamed or deleted benchmark passing vacuously).
+set -eu
+cd "$(dirname "$0")/.."
+
+DROP=${DROP:-0.15}
+GATE_BENCHES=${GATE_BENCHES:-'BenchmarkServeGridOverlap/cold$|BenchmarkServeFidelity/sim$|BenchmarkServeFidelity/analytic$'}
+GATE_REQUIRE=${GATE_REQUIRE:-'ServeGridOverlap/cold,ServeFidelity/sim,ServeFidelity/analytic'}
+
+go test -run '^$' -bench "$GATE_BENCHES" -benchtime 2s -count 1 . \
+  | go run ./scripts/benchgate -drop "$DROP" -require "$GATE_REQUIRE" BENCH_*.json

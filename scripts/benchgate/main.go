@@ -1,0 +1,167 @@
+// Command benchgate fails CI when serving throughput regresses: it
+// parses `go test -bench` output on stdin, extracts a throughput
+// metric (points/s by default) per benchmark, and compares each
+// against the best value recorded for that benchmark in the committed
+// snapshot files (the BENCH_*.json trajectory scripts/bench_json.sh
+// maintains). A drop past the threshold fails the gate.
+//
+// Only snapshots whose cpu string matches the current run's machine
+// are compared — a laptop cannot fail the gate against a CI box's
+// numbers. No comparable baseline is a pass with a note, so the gate
+// is safe to run anywhere; it bites only where history exists.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'ServeGridOverlap|ServeFidelity' . \
+//	  | go run ./scripts/benchgate -drop 0.15 BENCH_*.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// snapshot mirrors the bench_json.sh / rrload trajectory layout.
+type snapshot struct {
+	Label      string `json:"label"`
+	CPU        string `json:"cpu"`
+	Benchmarks []struct {
+		Name    string             `json:"name"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"benchmarks"`
+}
+
+// baseline is the best recorded value of one benchmark's metric.
+type baseline struct {
+	value float64
+	label string
+	file  string
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	drop := fs.Float64("drop", 0.15, "max tolerated fractional drop vs the best recorded value")
+	metric := fs.String("metric", "points/s", "benchmark metric to gate on")
+	require := fs.String("require", "", "comma-separated benchmark names that must appear in the current run (with the metric), e.g. ServeGridOverlap/cold")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no snapshot files given")
+		return 2
+	}
+
+	current, cpu, err := parseBenchOutput(os.Stdin, *metric)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	if len(current) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmarks with a %q metric on stdin\n", *metric)
+		return 2
+	}
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			if _, ok := current[name]; !ok {
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL: required benchmark %s missing from the run\n", name)
+				return 1
+			}
+		}
+	}
+
+	best := make(map[string]baseline)
+	for _, path := range fs.Args() {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			return 2
+		}
+		var snaps []snapshot
+		if err := json.Unmarshal(raw, &snaps); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+			return 2
+		}
+		for _, s := range snaps {
+			if s.CPU != cpu {
+				continue // different machine class: not comparable
+			}
+			for _, b := range s.Benchmarks {
+				v, ok := b.Metrics[*metric]
+				if !ok || v <= 0 {
+					continue
+				}
+				if prev, seen := best[b.Name]; !seen || v > prev.value {
+					best[b.Name] = baseline{value: v, label: s.Label, file: path}
+				}
+			}
+		}
+	}
+
+	failed := false
+	for name, got := range current {
+		base, ok := best[name]
+		if !ok {
+			fmt.Printf("benchgate: %-28s %10.1f %s  (no comparable baseline for cpu %q — pass)\n",
+				name, got, *metric, cpu)
+			continue
+		}
+		floor := base.value * (1 - *drop)
+		verdict := "ok"
+		if got < floor {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchgate: %-28s %10.1f %s  vs best %.1f (%s, %s), floor %.1f: %s\n",
+			name, got, *metric, base.value, base.label, base.file, floor, verdict)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: throughput dropped more than %.0f%% below the best recorded snapshot\n", *drop*100)
+		return 1
+	}
+	return 0
+}
+
+// benchLine matches one benchmark result line; the -N GOMAXPROCS
+// suffix is stripped to match the snapshot naming.
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBenchOutput extracts the metric per benchmark and the cpu
+// string from `go test -bench` text.
+func parseBenchOutput(r *os.File, metric string) (map[string]float64, string, error) {
+	out := make(map[string]float64)
+	var cpu string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		fields := strings.Fields(m[2])
+		// Fields come in (value, unit) pairs.
+		for i := 0; i+1 < len(fields); i += 2 {
+			if fields[i+1] != metric {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err == nil {
+				out[m[1]] = v
+			}
+		}
+	}
+	return out, cpu, sc.Err()
+}
