@@ -68,7 +68,7 @@ bench:
 # trajectory file (see docs/performance.md for the format and the
 # comparison workflow). Override either: make bench-json LABEL=tuned
 LABEL ?= snapshot
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR10.json
 bench-json:
 	./scripts/bench_json.sh $(LABEL) $(BENCH_OUT)
 

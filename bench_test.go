@@ -19,6 +19,7 @@ import (
 	"regreloc/internal/experiment"
 	"regreloc/internal/isa"
 	"regreloc/internal/node"
+	"regreloc/internal/pointstore"
 	"regreloc/internal/policy"
 	"regreloc/internal/regfile"
 	"regreloc/internal/rng"
@@ -153,6 +154,42 @@ func benchServeOverlap(b *testing.B, warmFirst bool) {
 func BenchmarkServeGridOverlap(b *testing.B) {
 	b.Run("cold", func(b *testing.B) { benchServeOverlap(b, false) })
 	b.Run("overlap50", func(b *testing.B) { benchServeOverlap(b, true) })
+}
+
+// The fully warm sweep: every cell of a figure5 quick grid resolves
+// from the point store, so the measured rate is pure cache-assembly
+// throughput — the resolve + decode pre-pass, no simulation at all.
+// This is the path an interactive dashboard re-querying overlapping
+// grids lives on, and the one the pre-pass parallelization targets.
+func BenchmarkSweepWarm(b *testing.B) {
+	e, ok := experiment.Get("figure5")
+	if !ok {
+		b.Fatal("figure5 not registered")
+	}
+	store, err := pointstore.New(64<<20, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	sc := experiment.Quick
+	sc.PointStore = store
+	warm := e.Run(1, sc) // populate: every later run is 100% cached
+	if warm.Err != nil {
+		b.Fatal(warm.Err)
+	}
+	points := len(warm.Points)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := e.Run(1, sc)
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.StopTimer()
+	if c := store.Counters(); c.Misses != int64(points) {
+		b.Fatalf("warm sweep simulated: %d misses beyond the %d-point populate run", c.Misses-int64(points), points)
+	}
+	b.ReportMetric(float64(points)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
 }
 
 // The fidelity tiers head to head on a cold Figure-5-style grid: the

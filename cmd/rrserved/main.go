@@ -44,6 +44,8 @@ import (
 	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -56,6 +58,21 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stderr, nil, nil))
+}
+
+// writeLookupProfile dumps a named runtime profile (mutex, block) to
+// path on clean shutdown; failures are reported, not fatal — the
+// daemon already served its traffic.
+func writeLookupProfile(stderr io.Writer, name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "rrserved: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(stderr, "rrserved: writing %s profile: %v\n", name, err)
+	}
 }
 
 // run implements the daemon; it returns the process exit status. stop
@@ -75,6 +92,8 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 		cacheDir      = fs.String("cache-dir", "", "directory for the disk cache tier (empty = memory only)")
 		pointBytes    = fs.Int64("point-cache-bytes", 32<<20, "in-memory point-store budget in bytes (negative disables point memoization)")
 		pointDir      = fs.String("point-cache-dir", "", "directory for the point store's disk tier (empty = memory only)")
+		pointShards   = fs.Int("point-cache-shards", 0, "point-store shard count, rounded up to a power of two (0 = sized to GOMAXPROCS)")
+		pointSpillQ   = fs.Int("point-cache-spill-queue", 0, "max point-store entries queued for background disk spill (0 = default)")
 		jobRetention  = fs.Duration("job-retention", 15*time.Minute, "how long finished jobs stay queryable by ID")
 		maxJobs       = fs.Int("max-jobs", 1024, "job table cap: oldest finished jobs are pruned past it")
 		tenantMax     = fs.Int("tenant-max-inflight", 0, "max active jobs per tenant, 429 past it (0 = no per-tenant cap)")
@@ -90,6 +109,8 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 		probeInterval = fs.Duration("cluster-probe-interval", 0, "worker health probe spacing (0 = 2s)")
 		computeRate   = fs.Float64("compute-rate", 0, "cap fresh point simulations per second on this node (0 = unlimited); the per-node capacity model for cluster benchmarking")
 		fidelity      = fs.String("fidelity", "", "default measurement tier for submissions that do not set one: sim, machine, analytic, or adaptive (empty = sim)")
+		mtxProf       = fs.String("mutexprofile", "", "write a mutex-contention profile to this file on clean shutdown")
+		blkProf       = fs.String("blockprofile", "", "write a goroutine-blocking profile to this file on clean shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -118,6 +139,19 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 		return 2
 	}
 	logger := log.New(stderr, "rrserved ", log.LstdFlags|log.Lmsgprefix)
+
+	// Lock-contention profiles: runtime collection is off by default
+	// (it costs a few percent), so it is switched on only when a
+	// profile was requested, and the profile is written as the daemon
+	// exits. See docs/performance.md, "Diagnosing lock contention".
+	if *mtxProf != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeLookupProfile(stderr, "mutex", *mtxProf)
+	}
+	if *blkProf != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeLookupProfile(stderr, "block", *blkProf)
+	}
 
 	// NewRateLimiter returns a typed nil for rate <= 0; only a non-nil
 	// limiter may cross into the Limiter interface, or the engine would
@@ -156,21 +190,23 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}, ready chan<- str
 	}
 
 	cfg := serve.Config{
-		QueueCap:          *queueCap,
-		Workers:           *workers,
-		PointWorkers:      *pointWorkers,
-		JobTimeout:        *jobTimeout,
-		CacheBytes:        *cacheBytes,
-		CacheDir:          *cacheDir,
-		PointCacheBytes:   *pointBytes,
-		PointCacheDir:     *pointDir,
-		JobRetention:      *jobRetention,
-		MaxJobs:           *maxJobs,
-		TenantWeights:     weights,
-		TenantMaxInflight: *tenantMax,
-		Logger:            logger,
-		ComputeLimit:      computeLimit,
-		DefaultFidelity:   *fidelity,
+		QueueCap:             *queueCap,
+		Workers:              *workers,
+		PointWorkers:         *pointWorkers,
+		JobTimeout:           *jobTimeout,
+		CacheBytes:           *cacheBytes,
+		CacheDir:             *cacheDir,
+		PointCacheBytes:      *pointBytes,
+		PointCacheDir:        *pointDir,
+		PointCacheShards:     *pointShards,
+		PointCacheSpillQueue: *pointSpillQ,
+		JobRetention:         *jobRetention,
+		MaxJobs:              *maxJobs,
+		TenantWeights:        weights,
+		TenantMaxInflight:    *tenantMax,
+		Logger:               logger,
+		ComputeLimit:         computeLimit,
+		DefaultFidelity:      *fidelity,
 	}
 	if cl != nil {
 		cfg.Remote = cl

@@ -9,6 +9,7 @@
 //	rrsim -experiment figure5 -parallel 4   # bound the sweep worker pool
 //	rrsim -experiment figure5 -pointcache ~/.cache/rrsim  # reuse sweep points across runs
 //	rrsim -experiment figure5 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	rrsim -experiment figure5 -mutexprofile mutex.pprof -blockprofile block.pprof
 //
 // Formats: table (default), plot (requires -panel or plots every
 // panel), csv, summary.
@@ -37,6 +38,21 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// writeLookupProfile dumps a named runtime profile (mutex, block) to
+// path; failures are reported, not fatal — the run's real output
+// already happened.
+func writeLookupProfile(stderr io.Writer, name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "rrsim: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(stderr, "rrsim: writing %s profile: %v\n", name, err)
+	}
+}
+
 // run implements the tool; it returns the process exit status.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rrsim", flag.ContinueOnError)
@@ -52,8 +68,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel = fs.Int("parallel", 0, "sweep-point workers: 0 = one per core, 1 = sequential")
 		fidelity = fs.String("fidelity", "sim", "measurement tier: sim, machine, or analytic (grid experiments only for non-sim)")
 		ptCache  = fs.String("pointcache", "", "directory memoizing per-point results across runs (incremental sweeps)")
+		ptShards = fs.Int("pointcache-shards", 0, "point-cache shard count, rounded up to a power of two (0 = sized to GOMAXPROCS)")
+		ptQueue  = fs.Int("pointcache-spill-queue", 0, "max point-cache entries queued for background disk spill (0 = default)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		mtxProf  = fs.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+		blkProf  = fs.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,6 +108,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "rrsim: writing heap profile: %v\n", err)
 			}
 		}()
+	}
+	// Lock-contention profiles: collection is off by default in the
+	// runtime (it costs a few percent), so it is enabled only for the
+	// lifetime of a profiled run. See docs/performance.md, "Diagnosing
+	// lock contention".
+	if *mtxProf != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeLookupProfile(stderr, "mutex", *mtxProf)
+	}
+	if *blkProf != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeLookupProfile(stderr, "block", *blkProf)
 	}
 
 	if *list {
@@ -131,7 +163,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var store *pointstore.Store
 	if *ptCache != "" {
 		var err error
-		store, err = pointstore.New(64<<20, *ptCache)
+		store, err = pointstore.NewWith(64<<20, *ptCache, pointstore.Options{
+			Shards:     *ptShards,
+			SpillQueue: *ptQueue,
+		})
 		if err != nil {
 			fmt.Fprintf(stderr, "rrsim: %v\n", err)
 			return 1

@@ -147,3 +147,28 @@ func TestCSVOutputDirInvalid(t *testing.T) {
 		t.Errorf("error not surfaced: %q", errOut.String())
 	}
 }
+
+// TestContentionProfileFlags checks that -mutexprofile and
+// -blockprofile each produce a readable, non-empty pprof file on exit.
+// The profile contents depend on runtime contention so only presence
+// and non-emptiness are asserted.
+func TestContentionProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	mtx := filepath.Join(dir, "mutex.pprof")
+	blk := filepath.Join(dir, "block.pprof")
+	var out, errOut strings.Builder
+	args := []string{"-experiment", "figure4", "-scale", "quick", "-parallel", "2",
+		"-mutexprofile", mtx, "-blockprofile", blk}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, path := range []string{mtx, blk} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s: empty profile", path)
+		}
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"regreloc/internal/pointstore"
 )
 
 func postCompute(t *testing.T, wk *Worker, body any) *httptest.ResponseRecorder {
@@ -102,5 +104,54 @@ func TestWorkerComputesCells(t *testing.T) {
 	rr2 := postCompute(t, wk, validRequest())
 	if !bytes.Equal(rr.Body.Bytes(), rr2.Body.Bytes()) {
 		t.Fatal("identical requests produced different bytes")
+	}
+}
+
+// TestWorkerServesWarmCellsFromStoreBatch pins the worker's warm
+// path: with a point store attached, a repeated request is answered
+// from the store's batched pre-pass — one hit per cell, zero fresh
+// simulations (misses) — and the bytes are identical to the cold run.
+// The consistent-hash ring routes the same keys to the same worker
+// precisely to make this path hot.
+func TestWorkerServesWarmCellsFromStoreBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulation cells")
+	}
+	store, err := pointstore.NewWith(8<<20, "", pointstore.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	wk := NewWorker(WorkerConfig{Points: store, PointWorkers: 2, Logf: t.Logf})
+
+	req := validRequest()
+	req.Cells = []wireCell{
+		{Key: "k1", F: 32, R: 8, L: 16, Arch: "fixed"},
+		{Key: "k2", F: 64, R: 8, L: 16, Arch: "fixed"},
+		{Key: "k3", F: 64, R: 8, L: 16, Arch: "flexible"},
+	}
+	cold := postCompute(t, wk, req)
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold: code = %d: %s", cold.Code, cold.Body.String())
+	}
+	c := store.Counters()
+	if c.Misses != int64(len(req.Cells)) {
+		t.Fatalf("cold misses = %d, want %d", c.Misses, len(req.Cells))
+	}
+	hitsAfterCold := c.Hits
+
+	warm := postCompute(t, wk, req)
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warm: code = %d: %s", warm.Code, warm.Body.String())
+	}
+	if !bytes.Equal(cold.Body.Bytes(), warm.Body.Bytes()) {
+		t.Fatal("warm response differs from cold response")
+	}
+	c = store.Counters()
+	if c.Misses != int64(len(req.Cells)) {
+		t.Fatalf("warm run simulated: misses = %d, want still %d", c.Misses, len(req.Cells))
+	}
+	if got := c.Hits - hitsAfterCold; got != int64(len(req.Cells)) {
+		t.Fatalf("warm hits = %d, want %d (one batched hit per cell)", got, len(req.Cells))
 	}
 }

@@ -33,18 +33,27 @@ func sweepCells(experimentID string, archs []archSpec, mkSpec specFn) func(uint6
 
 		store := scale.PointStore
 		results := make([]CellResult, len(pts))
+		// Batched warm-path probe: resolve every already-stored cell in
+		// one pass per store shard instead of two lock round-trips per
+		// cell. Misses stay uncounted here — the Do below owns them.
+		var cached [][]byte
+		if store != nil {
+			keys := make([]string, len(pts))
+			for i := range pts {
+				keys[i] = pts[i].key
+			}
+			cached = store.GetBatch(keys)
+		}
 		err := scale.forEach(len(pts), func(i int) {
 			p := pts[i]
 			if store == nil {
 				results[i] = CellResult{Key: p.key, Data: encodeMeasurements(fid, p.runLocal(scale))}
 				return
 			}
-			if store.Contains(p.key) {
-				if data, ok := store.Get(p.key); ok {
-					if _, decErr := decodeMeasurements(fid, data); decErr == nil {
-						results[i] = CellResult{Key: p.key, Data: data}
-						return
-					}
+			if data := cached[i]; data != nil {
+				if _, decErr := decodeMeasurements(fid, data); decErr == nil {
+					results[i] = CellResult{Key: p.key, Data: data}
+					return
 				}
 			}
 			data, doErr := store.Do(p.key, func() ([]byte, error) {

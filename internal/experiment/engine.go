@@ -109,27 +109,51 @@ func executeSweep(meta sweepMeta, scale Scale, pts []point) ([]Measurement, erro
 
 	// Cached pre-pass: resolve every already-stored point up front, so
 	// the worker pool (and the progress denominator's remaining share)
-	// covers only cells that need simulating. todo holds the indices
-	// left to run.
+	// covers only cells that need simulating. The store probe is one
+	// batched GetBatch — one lock acquisition per store shard instead
+	// of two per point — and the decode of resolved cells runs on the
+	// worker pool: an 80%-warm sweep's dominant cost is decoding, not
+	// simulating, so it must not serialize on one goroutine. GetBatch
+	// counts no misses for absent keys; the miss accounting belongs to
+	// the Do below, which is what actually pays for the simulation.
+	// todo holds the indices left to run.
 	var todo []int
 	if store != nil {
+		keys := make([]string, len(pts))
 		for i := range pts {
-			if k := pts[i].key; k != "" && store.Contains(k) {
-				// Contains first so an absent point costs no miss here:
-				// the store's miss counter belongs to the Do below, which
-				// is what actually pays for the simulation.
-				if data, ok := store.Get(k); ok {
-					if ms, err := decodeMeasurements(fid, data); err == nil {
-						results[i] = ms
-						onPoint(ms)
-						continue
-					}
-					// Undecodable entry (e.g. written by a codec this
-					// build no longer speaks): recompute locally.
-					// Correctness never depends on the cache.
-				}
+			keys[i] = pts[i].key
+		}
+		datas := store.GetBatch(keys)
+		var cand []int // indices with stored bytes to decode
+		for i, data := range datas {
+			if data != nil {
+				cand = append(cand, i)
 			}
-			todo = append(todo, i)
+		}
+		decodeOne := func(ci int) {
+			i := cand[ci]
+			if ms, err := decodeMeasurements(fid, datas[i]); err == nil {
+				results[i] = ms
+				onPoint(ms)
+			}
+			// Undecodable entry (e.g. written by a codec this build no
+			// longer speaks): left nil, recomputed below. Correctness
+			// never depends on the cache.
+		}
+		if workers := scale.workers(); workers > 1 && len(cand) > 1 {
+			// The pre-pass always completes (as it did when serial), so
+			// it runs under a background context; cancellation is
+			// honoured between the simulated points below.
+			forEach(context.Background(), workers, 0, len(cand), nil, len(cand), decodeOne)
+		} else {
+			for ci := range cand {
+				decodeOne(ci)
+			}
+		}
+		for i := range pts {
+			if results[i] == nil {
+				todo = append(todo, i)
+			}
 		}
 	} else {
 		todo = make([]int, len(pts))
@@ -184,19 +208,31 @@ func executeSweep(meta sweepMeta, scale Scale, pts []point) ([]Measurement, erro
 						results[i] = ms
 						done++
 						filled++
-						if progress != nil {
-							progress(done, len(pts))
-						}
 					}
 				}
+				doneNow := done
 				mu.Unlock()
+				if filled == 0 {
+					return
+				}
 				// One observer call per filled grid cell, matching the
 				// cached and local paths (grids can repeat values).
 				for n := filled; n > 0; n-- {
 					onPoint(ms)
 				}
-				if filled > 0 && store != nil {
+				if store != nil {
 					store.Put(key, data)
+				}
+				// The results mutex is released before the progress hook
+				// runs: a slow (or blocking) consumer must never stall
+				// concurrent emits, which need the mutex to record their
+				// cells. Each done value is still reported exactly once;
+				// values may interleave across emits, which the hook
+				// contract already allows.
+				if progress != nil {
+					for v := doneNow - filled + 1; v <= doneNow; v++ {
+						progress(v, len(pts))
+					}
 				}
 			}
 			// A remote-tier error is not a sweep error: every cell it

@@ -94,31 +94,38 @@ func TestFigure5GoldenFromPointCache(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Warm runs at different worker counts: every point resolves from
-	// the store (zero new simulations) and the assembled report is
-	// still byte-identical — order-independent by construction.
+	// Warm runs across worker AND shard counts: every point resolves
+	// from the store (zero new simulations) and the assembled report is
+	// still byte-identical — order-independent by construction, and
+	// independent of how keys distribute across store shards (the disk
+	// tier written by one shard count is read back under another).
 	for _, workers := range []int{1, 8} {
-		warmStore, err := pointstore.New(8<<20, dir)
-		if err != nil {
-			t.Fatal(err)
-		}
-		warm := experiment.Quick
-		warm.Workers = workers
-		warm.PointStore = warmStore
-		r := e.Run(1, warm)
-		if r.Err != nil {
-			t.Fatal(r.Err)
-		}
-		if got := []byte(experiment.CSV(r)); !bytes.Equal(got, want) {
-			t.Fatalf("workers=%d: cache-assembled report drifted from golden (got %d bytes, want %d)",
-				workers, len(got), len(want))
-		}
-		if c := warmStore.Counters(); c.Misses != 0 || c.Hits != int64(len(r.Points)) {
-			t.Fatalf("workers=%d: warm run counters = %+v, want all %d points served as hits",
-				workers, c, len(r.Points))
-		}
-		if err := warmStore.Close(); err != nil {
-			t.Fatal(err)
+		for _, shards := range []int{1, 4} {
+			warmStore, err := pointstore.NewWith(8<<20, dir, pointstore.Options{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warmStore.Shards() != shards {
+				t.Fatalf("store has %d shards, want %d", warmStore.Shards(), shards)
+			}
+			warm := experiment.Quick
+			warm.Workers = workers
+			warm.PointStore = warmStore
+			r := e.Run(1, warm)
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			if got := []byte(experiment.CSV(r)); !bytes.Equal(got, want) {
+				t.Fatalf("workers=%d shards=%d: cache-assembled report drifted from golden (got %d bytes, want %d)",
+					workers, shards, len(got), len(want))
+			}
+			if c := warmStore.Counters(); c.Misses != 0 || c.Hits != int64(len(r.Points)) {
+				t.Fatalf("workers=%d shards=%d: warm run counters = %+v, want all %d points served as hits",
+					workers, shards, c, len(r.Points))
+			}
+			if err := warmStore.Close(); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 }

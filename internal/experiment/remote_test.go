@@ -2,9 +2,12 @@ package experiment_test
 
 import (
 	"context"
+	"sync"
 	"testing"
+	"time"
 
 	"regreloc/internal/experiment"
+	"regreloc/internal/pointstore"
 )
 
 // remoteFunc adapts a function to experiment.PointComputer.
@@ -110,6 +113,73 @@ func TestRemoteErrorFallsBackLocally(t *testing.T) {
 	sc.Remote = remote
 	if got := runFigure5Grid(t, sc); got != want {
 		t.Fatal("a failed remote tier changed the report")
+	}
+}
+
+// TestRemoteProgressHookRunsOutsideResultsLock is the regression test
+// for the blocking-progress-hook bug: emit used to invoke the
+// user-facing progress hook while holding the sweep's results mutex,
+// so one slow consumer stalled every concurrent emit (and, because
+// the store Put also sat behind the hook, nothing landed in the point
+// store until the hook returned). The hook here blocks until the
+// store holds a second remote result — which can only appear if other
+// emits keep making progress while the hook is blocked. On pre-fix
+// code the second emit deadlocks on the results mutex and the hook
+// times out.
+func TestRemoteProgressHookRunsOutsideResultsLock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real sweeps")
+	}
+	e, _ := experiment.Get("figure5")
+	store, err := pointstore.New(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Emit every result concurrently, as the cluster client does from
+	// its per-batch goroutines.
+	remote := remoteFunc(func(ctx context.Context, sweep experiment.RemoteSweep, emit func(string, []byte)) error {
+		cells := make([]experiment.Cell, len(sweep.Points))
+		for i, p := range sweep.Points {
+			cells[i] = experiment.Cell{F: p.F, R: p.R, L: p.L, Arch: p.Arch}
+		}
+		sc := experiment.Scale{Threads: sweep.Threads, WorkRuns: sweep.WorkRuns, MinWork: sweep.MinWork}.WithContext(ctx)
+		results, err := e.ComputeCells(sweep.Seed, sc, cells)
+		if err != nil {
+			return err
+		}
+		var wg sync.WaitGroup
+		for _, cr := range results {
+			wg.Add(1)
+			go func(cr experiment.CellResult) {
+				defer wg.Done()
+				emit(cr.Key, cr.Data)
+			}(cr)
+		}
+		wg.Wait()
+		return nil
+	})
+
+	sc := experiment.Quick
+	sc.Remote = remote
+	sc.PointStore = store
+	hookStalled := false
+	sc.Progress = func(done, total int) {
+		// Block until a second remote result has been stored. Only a
+		// concurrent emit can store it, so this detects an emit holding
+		// the results mutex across the hook.
+		deadline := time.Now().Add(10 * time.Second)
+		for store.Len() < 2 {
+			if time.Now().After(deadline) {
+				hookStalled = true
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	runFigure5Grid(t, sc)
+	if hookStalled {
+		t.Fatal("progress hook saw no concurrent emits: emit holds the results mutex while calling the hook")
 	}
 }
 

@@ -1,0 +1,84 @@
+package pointstore
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkPointStoreParallel measures point-resolution throughput
+// under concurrency: a mixed Do/Get workload over a preloaded working
+// set, swept across GOMAXPROCS settings. Every operation resolves one
+// point, so the reported metric is points/s — directly comparable to
+// the serving-path benchmarks, and pinned by scripts/benchgate.
+//
+// The sweep sets GOMAXPROCS explicitly per sub-benchmark (rather than
+// relying on -cpu) so the snapshot names in BENCH_*.json stay distinct
+// and the scaling curve is visible in one run. On a box with fewer
+// physical cores than p, the kernel time-slices the worker threads —
+// which is exactly the regime where a single global mutex collapses
+// (a preempted lock holder stalls every other thread) and a sharded
+// store keeps making progress.
+func BenchmarkPointStoreParallel(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("mixed-p%d", p), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(p))
+			benchMixed(b)
+		})
+	}
+}
+
+// benchMixed drives the store with the serving path's op mix: mostly
+// Get hits (the warm-sweep pre-pass), a Do hit per few Gets (planner
+// coverage + single-flight lookups), and a small stream of Do misses
+// computing fresh entries (the simulate-and-store path).
+func benchMixed(b *testing.B) {
+	s, err := New(64<<20, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const working = 4096
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	keys := make([]string, working)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x-point-%d", i*2654435761, i)
+		s.Put(keys[i], payload)
+	}
+	var fresh atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(fresh.Add(1) * 9176))
+		i := 0
+		for pb.Next() {
+			i++
+			switch {
+			case i%16 == 0:
+				// Do miss: compute and store a fresh entry.
+				k := fmt.Sprintf("fresh-%d", fresh.Add(1))
+				s.Do(k, func() ([]byte, error) { return payload, nil })
+			case i%4 == 0:
+				// Do hit on the working set.
+				s.Do(keys[rng.Intn(working)], func() ([]byte, error) { return payload, nil })
+			default:
+				// CLOCK recency is approximate: under the fresh-insert
+				// churn (no disk tier here) a hot key is occasionally
+				// evicted. That is the store's contract — a miss costs a
+				// recompute, never a wrong byte — so restore it like a
+				// caller would.
+				k := keys[rng.Intn(working)]
+				if _, ok := s.Get(k); !ok {
+					s.Put(k, payload)
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}

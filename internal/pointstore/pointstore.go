@@ -7,13 +7,21 @@
 // point's bytes (engine version, experiment, seed, coordinates).
 //
 // The store mirrors the serving cache's tiering conventions: hot
-// entries live in memory under an LRU byte budget, evicted entries
-// spill to a disk tier whose index carries a per-entry checksum and a
+// entries live in memory under a byte budget, evicted entries spill
+// to a disk tier whose index carries a per-entry checksum and a
 // format version, and a persisted index lets a restarted process
 // resume warm. On top of that it adds cross-job single-flight
 // coalescing (Do): concurrent computations of the same key share one
 // execution, so two jobs sweeping overlapping grids simulate each
 // shared point exactly once between them.
+//
+// Internally the store is sharded by key hash: each shard carries its
+// own lock, CLOCK memory tier, in-flight table, and disk index, so
+// point resolution scales with cores instead of funnelling through
+// one mutex. All disk I/O and checksum computation happens with no
+// shard lock held — spills run on a bounded background writer that
+// pins evicted bytes in memory until they are durable, and disk-tier
+// reads verify off-lock and promote with a re-check.
 //
 // Soundness has the same basis as the report cache: a point's bytes
 // are a pure function of the key's preimage (the engine derives every
@@ -25,7 +33,6 @@
 package pointstore
 
 import (
-	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -35,6 +42,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -43,39 +51,61 @@ import (
 // Store is the content-addressed per-point byte store. All methods
 // are safe for concurrent use.
 type Store struct {
-	mu     sync.Mutex
+	shards []*shard
+	mask   uint32
 	budget int64
-	size   int64
-	ll     *list.List // front = most recently used
-	items  map[string]*list.Element
 	dir    string
-	disk   map[string]diskEntry
+	fs     fsys
+	// writer is the bounded async spill writer; nil for memory-only
+	// stores (dir == "").
+	writer *spillWriter
 	// lock holds the directory's advisory lock file (dir/.lock) for
 	// the store's lifetime; released by Close. nil when dir == "".
 	lock *os.File
 
-	// inflight tracks keys being computed right now; later Do calls
-	// for the same key wait for the leader instead of recomputing.
-	inflight map[string]*flight
+	// saveMu serializes SaveIndex and Close against each other.
+	saveMu        sync.Mutex
+	writerStopped bool
 
-	// logf receives operational warnings (first spill failure). nil
-	// uses the standard logger; SetLogf redirects it.
+	// logMu guards the operational-warning sink (first spill failure).
+	logMu           sync.Mutex
 	logf            func(format string, args ...any)
 	spillFailLogged bool
-
-	c Counters
 }
+
+// Options tunes the store's concurrency structure. The zero value
+// picks defaults sized to the machine.
+type Options struct {
+	// Shards is the shard count, rounded up to a power of two. 0 picks
+	// the next power of two >= GOMAXPROCS (capped at 128). More shards
+	// reduce lock contention; each adds a fixed bookkeeping cost.
+	Shards int
+	// SpillQueue bounds the async spill writer's backlog in entries
+	// (0 = 256). Entry-creating calls (Put, Do) wait below the cap;
+	// Get/Contains never block on it.
+	SpillQueue int
+
+	// fs injects a filesystem for tests (blocking or failing disks).
+	// nil uses the real one.
+	fs fsys
+}
+
+const (
+	defaultSpillQueue = 256
+	maxShards         = 128
+)
 
 // SetLogf redirects the store's operational warnings (e.g. the first
 // disk-spill failure) to f. The default is the standard logger.
 func (s *Store) SetLogf(f func(format string, args ...any)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
 	s.logf = f
 }
 
 // Counters are the store's monotonic event counts, exposed for the
-// metrics endpoint and for tests pinning coalescing behaviour.
+// metrics endpoint and for tests pinning coalescing behaviour. Counts
+// are aggregated across shards.
 type Counters struct {
 	// Hits are lookups answered from memory or verified disk.
 	Hits int64
@@ -96,13 +126,9 @@ type Counters struct {
 	// tier: an evicted entry whose spill fails is lost (the memory
 	// tier already dropped it), so a non-zero count means the store's
 	// working set is smaller than the caller believes and SaveIndex
-	// persisted an incomplete index.
+	// persisted an incomplete index. Spills are asynchronous — call
+	// Flush (or SaveIndex) before reading this for an exact count.
 	SpillFails int64
-}
-
-type entry struct {
-	key  string
-	data []byte
 }
 
 type flight struct {
@@ -117,7 +143,10 @@ type diskEntry struct {
 	Sum  string `json:"sum"` // hex SHA-256 of the payload bytes
 }
 
-// storeIndex is the on-disk index format (dir/points.json).
+// storeIndex is the on-disk index format (dir/points.json). The index
+// is a single file shared by all shards: sharding is an in-memory
+// concurrency structure, not a storage format, so the shard count can
+// change between runs without invalidating the disk tier.
 type storeIndex struct {
 	Version int                  `json:"version"`
 	Entries map[string]diskEntry `json:"entries"`
@@ -139,23 +168,54 @@ const indexName = "points.json"
 const lockName = ".lock"
 
 // New returns a store with the given in-memory byte budget (<= 0
-// disables the memory tier) and optional spill directory. An existing
-// index in the directory is loaded so a restarted process resumes
-// with its disk tier warm.
+// disables the memory tier) and optional spill directory, using
+// default Options. See NewWith.
+func New(budget int64, dir string) (*Store, error) {
+	return NewWith(budget, dir, Options{})
+}
+
+// NewWith returns a store with the given in-memory byte budget (<= 0
+// disables the memory tier), optional spill directory, and options.
+// An existing index in the directory is loaded so a restarted process
+// resumes with its disk tier warm.
 //
 // The directory is claimed with an advisory lock (dir/.lock) held
-// until Close: if another live process already holds it, New fails
-// with a clear error instead of letting two disk tiers silently
+// until Close: if another live process already holds it, NewWith
+// fails with a clear error instead of letting two disk tiers silently
 // clobber each other's index. Locks die with their holder, so a
 // crashed process never strands a directory.
-func New(budget int64, dir string) (*Store, error) {
+func NewWith(budget int64, dir string, opts Options) (*Store, error) {
+	nshards := nextPow2(opts.Shards)
+	if opts.Shards <= 0 {
+		nshards = nextPow2(runtime.GOMAXPROCS(0))
+	}
+	if nshards > maxShards {
+		nshards = maxShards
+	}
+	queue := opts.SpillQueue
+	if queue <= 0 {
+		queue = defaultSpillQueue
+	}
+	fs := opts.fs
+	if fs == nil {
+		fs = osFS{}
+	}
 	s := &Store{
-		budget:   budget,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
-		dir:      dir,
-		disk:     make(map[string]diskEntry),
-		inflight: make(map[string]*flight),
+		shards: make([]*shard, nshards),
+		mask:   uint32(nshards - 1),
+		budget: budget,
+		dir:    dir,
+		fs:     fs,
+	}
+	// Each shard polices budget/nshards so the total stays bounded no
+	// matter how keys distribute. A tiny budget still gets a non-zero
+	// memory tier per shard rather than rounding to memory-disabled.
+	shardBudget := budget / int64(nshards)
+	if budget > 0 && shardBudget == 0 {
+		shardBudget = budget
+	}
+	for i := range s.shards {
+		s.shards[i] = newShard(s, shardBudget)
 	}
 	if dir == "" {
 		return s, nil
@@ -173,6 +233,7 @@ func New(budget int64, dir string) (*Store, error) {
 			"(each process needs its own point-cache dir; see docs/cluster.md): %w", dir, err)
 	}
 	s.lock = lf
+	s.writer = newSpillWriter(s, queue)
 	raw, err := os.ReadFile(filepath.Join(dir, indexName))
 	if os.IsNotExist(err) {
 		return s, nil
@@ -188,44 +249,240 @@ func New(budget int64, dir string) (*Store, error) {
 		return s, nil
 	}
 	for k, e := range idx.Entries {
-		s.disk[k] = e
+		s.shardFor(k).disk[k] = e
 	}
 	return s, nil
 }
 
-// Get returns the bytes stored for key. Memory hits refresh LRU
+// nextPow2 rounds n up to a power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shardFor maps a key to its shard. Keys are content addresses (hex
+// SHA-256), so hashing the last 16 bytes distributes uniformly while
+// keeping the hash a fraction of a full-key pass; degenerate non-hash
+// keys that share a suffix merely share a shard, which affects only
+// contention, never correctness.
+func (s *Store) shardFor(key string) *shard {
+	return s.shards[s.shardIndex(key)]
+}
+
+func (s *Store) shardIndex(key string) uint32 {
+	h := uint32(2166136261) // FNV-1a
+	i := len(key) - 16
+	if i < 0 {
+		i = 0
+	}
+	for ; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	h ^= h >> 16
+	return h & s.mask
+}
+
+// lookup is the unified tiered read: memory, then the spill writer's
+// pending pins, then the verified disk tier. It does no hit/miss
+// accounting; callers count according to their own semantics.
+func (s *Store) lookup(sh *shard, key string) ([]byte, bool) {
+	if data, ok := sh.memGet(key); ok {
+		return data, true
+	}
+	if s.writer != nil {
+		if data, ok := s.writer.pendingGet(key); ok {
+			return data, true
+		}
+	}
+	return sh.diskGet(key)
+}
+
+// Get returns the bytes stored for key. Memory hits mark CLOCK
 // recency; disk hits are verified against the indexed checksum,
-// promoted into memory, and kept on disk.
+// promoted into memory, and kept on disk. Get never blocks on disk
+// writes: entries evicted but not yet durably spilled are served from
+// the writer's pinned copy.
 func (s *Store) Get(key string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	data, ok := s.getLocked(key)
+	sh := s.shardFor(key)
+	data, ok := s.lookup(sh, key)
 	if ok {
-		s.c.Hits++
+		sh.hits.Add(1)
 	} else {
-		s.c.Misses++
+		sh.misses.Add(1)
 	}
 	return data, ok
 }
 
-// Contains reports whether key is resident in memory or on disk,
-// without touching LRU recency or the hit/miss counters. Planners use
-// it to count a request's point-store coverage before queueing.
+// Contains reports whether key is resident in memory, pending spill,
+// or on disk, without touching the hit/miss counters. Planners use it
+// to count a request's point-store coverage before queueing.
 func (s *Store) Contains(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.items[key]; ok {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	_, inMem := sh.items[key]
+	_, onDisk := sh.disk[key]
+	sh.mu.RUnlock()
+	if inMem || onDisk {
 		return true
 	}
-	_, ok := s.disk[key]
-	return ok
+	if s.writer != nil {
+		if _, ok := s.writer.pendingGet(key); ok {
+			return true
+		}
+	}
+	return false
 }
 
-// Covered returns how many of the given keys Contains reports.
+// ContainsBatch reports Contains for every key in one pass: one read
+// lock acquisition per shard touched, not per key. Empty keys report
+// false. The result is index-aligned with keys.
+func (s *Store) ContainsBatch(keys []string) []bool {
+	out := make([]bool, len(keys))
+	s.forEachShardBatch(keys, func(sh *shard, idxs []int) {
+		sh.mu.RLock()
+		for _, i := range idxs {
+			if _, ok := sh.items[keys[i]]; ok {
+				out[i] = true
+				continue
+			}
+			if _, ok := sh.disk[keys[i]]; ok {
+				out[i] = true
+			}
+		}
+		sh.mu.RUnlock()
+	})
+	if s.writer != nil {
+		s.writer.mu.Lock()
+		for i, k := range keys {
+			if !out[i] && k != "" {
+				if _, ok := s.writer.pending[k]; ok {
+					out[i] = true
+				}
+			}
+		}
+		s.writer.mu.Unlock()
+	}
+	return out
+}
+
+// GetBatch resolves every key in one pass per shard: memory hits are
+// collected under a single read lock per shard, then pending-spill
+// and disk-tier candidates are resolved off-lock. The result is
+// index-aligned with keys; absent (or empty) keys yield nil.
+//
+// Counters: each resolved key counts one Hit; absent keys are NOT
+// counted as misses. GetBatch is the planner/pre-pass probe — the
+// authoritative miss count comes from the Do calls that follow for
+// the unresolved keys, so counting misses here would double-book them.
+func (s *Store) GetBatch(keys []string) [][]byte {
+	out := make([][]byte, len(keys))
+	var diskIdx []int // indices needing an off-lock disk read
+	s.forEachShardBatch(keys, func(sh *shard, idxs []int) {
+		sh.mu.RLock()
+		for _, i := range idxs {
+			if e := sh.items[keys[i]]; e != nil {
+				e.ref.Store(true)
+				out[i] = e.data
+				continue
+			}
+			if _, ok := sh.disk[keys[i]]; ok {
+				diskIdx = append(diskIdx, i)
+			}
+		}
+		sh.mu.RUnlock()
+	})
+	if s.writer != nil {
+		s.writer.mu.Lock()
+		for i, k := range keys {
+			if out[i] == nil && k != "" {
+				if data, ok := s.writer.pending[k]; ok {
+					out[i] = data
+				}
+			}
+		}
+		s.writer.mu.Unlock()
+	}
+	var hits int64
+	for _, i := range diskIdx {
+		if out[i] != nil {
+			continue // pending pin already resolved it
+		}
+		// diskGet re-reads the index entry itself; verification and
+		// promotion run with no lock held.
+		if data, ok := s.shardFor(keys[i]).diskGet(keys[i]); ok {
+			out[i] = data
+		}
+	}
+	for i := range out {
+		if out[i] != nil {
+			hits++
+		}
+	}
+	if hits > 0 {
+		s.shards[0].hits.Add(hits)
+	}
+	return out
+}
+
+// forEachShardBatch groups keys by shard (counting sort, no per-shard
+// allocations beyond one index slice) and invokes fn once per
+// non-empty shard with the indices of its keys. Empty keys are
+// skipped.
+func (s *Store) forEachShardBatch(keys []string, fn func(sh *shard, idxs []int)) {
+	if len(s.shards) == 1 {
+		idxs := make([]int, 0, len(keys))
+		for i, k := range keys {
+			if k != "" {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) > 0 {
+			fn(s.shards[0], idxs)
+		}
+		return
+	}
+	sidx := make([]uint32, len(keys))
+	counts := make([]int, len(s.shards))
+	for i, k := range keys {
+		if k == "" {
+			sidx[i] = ^uint32(0)
+			continue
+		}
+		h := s.shardIndex(k)
+		sidx[i] = h
+		counts[h]++
+	}
+	offsets := make([]int, len(s.shards)+1)
+	for i, c := range counts {
+		offsets[i+1] = offsets[i] + c
+	}
+	order := make([]int, offsets[len(s.shards)])
+	fill := make([]int, len(s.shards))
+	copy(fill, offsets[:len(s.shards)])
+	for i := range keys {
+		if sidx[i] == ^uint32(0) {
+			continue
+		}
+		order[fill[sidx[i]]] = i
+		fill[sidx[i]]++
+	}
+	for si := range s.shards {
+		if counts[si] > 0 {
+			fn(s.shards[si], order[offsets[si]:offsets[si+1]])
+		}
+	}
+}
+
+// Covered returns how many of the given keys Contains reports,
+// resolving the whole slice in one pass per shard.
 func (s *Store) Covered(keys []string) int {
 	n := 0
-	for _, k := range keys {
-		if s.Contains(k) {
+	for _, ok := range s.ContainsBatch(keys) {
+		if ok {
 			n++
 		}
 	}
@@ -243,37 +500,75 @@ func (s *Store) Covered(keys []string) int {
 // simulation cell) and a joiner's result is already being paid for by
 // the leader, so waiting it out is both cheap and useful.
 func (s *Store) Do(key string, compute func() ([]byte, error)) ([]byte, error) {
-	s.mu.Lock()
-	if data, ok := s.getLocked(key); ok {
-		s.c.Hits++
-		s.mu.Unlock()
-		return data, nil
+	sh := s.shardFor(key)
+	for {
+		if data, ok := s.lookup(sh, key); ok {
+			sh.hits.Add(1)
+			return data, nil
+		}
+		sh.mu.Lock()
+		if e := sh.items[key]; e != nil { // raced insert since lookup
+			e.ref.Store(true)
+			data := e.data
+			sh.mu.Unlock()
+			sh.hits.Add(1)
+			return data, nil
+		}
+		if _, onDisk := sh.disk[key]; onDisk {
+			// Spilled (or promoted then re-evicted) between the lookup
+			// and taking the lock: retry the off-lock tiered read.
+			sh.mu.Unlock()
+			continue
+		}
+		if s.writer != nil {
+			// A leader stores oversized results by enqueueing a spill in
+			// the same critical section that removes its flight, so the
+			// pending table must be consulted before starting a compute.
+			// Taking writer.mu under sh.mu follows the lock order.
+			if data, ok := s.writer.pendingGet(key); ok {
+				sh.mu.Unlock()
+				sh.hits.Add(1)
+				return data, nil
+			}
+		}
+		if f, ok := sh.inflight[key]; ok {
+			sh.mu.Unlock()
+			sh.joins.Add(1)
+			<-f.done
+			return f.data, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		sh.inflight[key] = f
+		sh.mu.Unlock()
+		sh.misses.Add(1)
+		return s.lead(sh, key, f, compute)
 	}
-	if f, ok := s.inflight[key]; ok {
-		s.c.Joins++
-		s.mu.Unlock()
-		<-f.done
-		return f.data, f.err
-	}
-	f := &flight{done: make(chan struct{})}
-	s.inflight[key] = f
-	s.c.Misses++
-	s.mu.Unlock()
+}
 
+// lead runs a single-flight leader's computation and publishes the
+// result to the store and to joiners.
+func (s *Store) lead(sh *shard, key string, f *flight, compute func() ([]byte, error)) ([]byte, error) {
 	completed := false
 	defer func() {
-		s.mu.Lock()
-		delete(s.inflight, key)
-		if completed && f.err == nil {
-			s.putLocked(key, f.data)
+		stored := completed && f.err == nil
+		sh.mu.Lock()
+		if stored {
+			// Store and remove the flight in one critical section so a
+			// concurrent Do either joins the flight or finds the entry —
+			// the exactly-one-compute-per-key guarantee has no window.
+			sh.putLocked(key, f.data)
 		}
-		s.mu.Unlock()
+		delete(sh.inflight, key)
+		sh.mu.Unlock()
 		if !completed {
 			// compute panicked: fail the joiners instead of deadlocking
 			// them, then let the panic propagate.
 			f.err = fmt.Errorf("pointstore: compute for %s panicked", key)
 		}
 		close(f.done)
+		if stored && s.writer != nil {
+			s.writer.waitCapacity()
+		}
 	}()
 	f.data, f.err = compute()
 	completed = true
@@ -281,131 +576,140 @@ func (s *Store) Do(key string, compute func() ([]byte, error)) ([]byte, error) {
 }
 
 // Put stores data under key (outside any single-flight accounting).
+// The write is admitted immediately; if it displaces entries past the
+// budget, the spill happens asynchronously and Put applies the
+// writer's backpressure off-lock.
 func (s *Store) Put(key string, data []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.putLocked(key, data)
+	s.shardFor(key).put(key, data)
+	if s.writer != nil {
+		s.writer.waitCapacity()
+	}
 }
 
-// getLocked is the tiered lookup. Caller holds s.mu.
-func (s *Store) getLocked(key string) ([]byte, bool) {
-	if el, ok := s.items[key]; ok {
-		s.ll.MoveToFront(el)
-		return el.Value.(*entry).data, true
-	}
-	if de, ok := s.disk[key]; ok {
-		data, err := os.ReadFile(s.path(key))
-		if err == nil && checksum(data) == de.Sum {
-			if s.budget > 0 && int64(len(data)) <= s.budget {
-				s.insertLocked(key, data)
-			}
-			return data, true
-		}
-		// Missing or corrupt payload: drop the index entry so callers
-		// recompute instead of receiving bad bytes.
-		s.c.VerifyFails++
-		delete(s.disk, key)
-		os.Remove(s.path(key))
-	}
-	return nil, false
-}
-
-// putLocked stores an entry, evicting least-recently-used entries
-// past the byte budget (spilling them to disk when a directory is
-// configured). Oversized single entries bypass memory and go straight
-// to disk.
-func (s *Store) putLocked(key string, data []byte) {
-	if _, ok := s.items[key]; ok {
-		return // determinism: same key means same bytes
-	}
-	if s.budget > 0 && int64(len(data)) <= s.budget {
-		s.insertLocked(key, data)
+// spillEvicted hands an evicted entry to the async writer. Called
+// with the shard lock held — it must not block or touch the disk.
+// Memory-only stores drop evicted bytes, as ever.
+func (s *Store) spillEvicted(sh *shard, key string, data []byte) {
+	if s.writer == nil {
 		return
 	}
-	s.spillLocked(key, data)
+	if _, ok := sh.disk[key]; ok {
+		return // already durable (e.g. promoted from disk, then evicted)
+	}
+	s.writer.enqueue(sh, key, data)
 }
 
-// insertLocked adds an entry to memory and evicts over budget.
-func (s *Store) insertLocked(key string, data []byte) {
-	s.items[key] = s.ll.PushFront(&entry{key: key, data: data})
-	s.size += int64(len(data))
-	for s.size > s.budget && s.ll.Len() > 1 {
-		el := s.ll.Back()
-		ent := el.Value.(*entry)
-		s.ll.Remove(el)
-		delete(s.items, ent.key)
-		s.size -= int64(len(ent.data))
-		s.c.Evictions++
-		s.spillLocked(ent.key, ent.data)
-	}
-}
-
-// spillLocked writes an entry to the disk tier (a no-op without a
-// directory, or when the bytes are already there). A write failure is
-// counted in SpillFails and logged once — for an evicted entry it
-// means the bytes are gone from both tiers, so silence here would let
-// SaveIndex report success over an incomplete index.
-func (s *Store) spillLocked(key string, data []byte) error {
-	if s.dir == "" {
-		return nil
-	}
-	if _, ok := s.disk[key]; ok {
-		return nil
-	}
-	if err := os.WriteFile(s.path(key), data, 0o644); err != nil {
-		s.c.SpillFails++
-		if !s.spillFailLogged {
-			s.spillFailLogged = true
-			logf := s.logf
-			if logf == nil {
-				logf = log.Printf
-			}
-			logf("pointstore: spill to %s failed (entry lost; further failures counted, not logged): %v", s.dir, err)
-		}
+// writeEntry performs one spill: payload write, checksum, and index
+// commit. The write and checksum run with no lock held; only the
+// final index commit briefly takes the shard's write lock. A write
+// failure is counted in SpillFails and logged once — for an evicted
+// entry it means the bytes are gone from both tiers, so silence here
+// would let SaveIndex report success over an incomplete index.
+func (s *Store) writeEntry(sh *shard, key string, data []byte) error {
+	if err := s.fs.WriteFile(s.path(key), data, 0o644); err != nil {
+		sh.spillFails.Add(1)
+		s.warnSpillOnce(err)
 		return fmt.Errorf("pointstore: spilling %s: %w", key, err)
 	}
-	s.disk[key] = diskEntry{Size: int64(len(data)), Sum: checksum(data)}
-	s.c.SpillBytes += int64(len(data))
+	sum := checksum(data)
+	sh.mu.Lock()
+	if _, ok := sh.disk[key]; !ok {
+		sh.disk[key] = diskEntry{Size: int64(len(data)), Sum: sum}
+		sh.spillBytes.Add(int64(len(data)))
+	}
+	sh.mu.Unlock()
 	return nil
 }
 
+func (s *Store) warnSpillOnce(err error) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if s.spillFailLogged {
+		return
+	}
+	s.spillFailLogged = true
+	logf := s.logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	logf("pointstore: spill to %s failed (entry lost; further failures counted, not logged): %v", s.dir, err)
+}
+
+// Flush blocks until every spill queued so far has been attempted:
+// afterwards, previously evicted entries are durable on disk or
+// counted in SpillFails. Memory-only stores return immediately.
+func (s *Store) Flush() {
+	if s.writer != nil {
+		s.writer.flush()
+	}
+}
+
 // SaveIndex persists the disk-tier index; long-running processes call
-// it during graceful shutdown so a restart resumes warm. Entries
-// still only in memory are spilled first so the whole working set is
-// persisted, not just the evicted part. Spill failures do not stop
-// the remaining entries from being persisted, but they surface in the
-// returned error (joined) so the caller knows the index is partial.
+// it during graceful shutdown so a restart resumes warm. The async
+// spill queue is flushed and entries still only in memory are spilled
+// first, so the whole working set is persisted, not just the evicted
+// part. Spill failures do not stop the remaining entries from being
+// persisted, but they surface in the returned error (joined) so the
+// caller knows the index is partial.
 func (s *Store) SaveIndex() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
 	if s.dir == "" {
 		return nil
 	}
+	s.writer.flush()
 	var spillErr error
-	for el := s.ll.Front(); el != nil; el = el.Next() {
-		ent := el.Value.(*entry)
-		spillErr = errors.Join(spillErr, s.spillLocked(ent.key, ent.data))
+	for _, sh := range s.shards {
+		// Snapshot memory entries not yet durable, then spill them with
+		// no shard lock held.
+		type kv struct {
+			key  string
+			data []byte
+		}
+		var todo []kv
+		sh.mu.RLock()
+		for k, e := range sh.items {
+			if _, onDisk := sh.disk[k]; !onDisk {
+				todo = append(todo, kv{k, e.data})
+			}
+		}
+		sh.mu.RUnlock()
+		for _, t := range todo {
+			spillErr = errors.Join(spillErr, s.writeEntry(sh, t.key, t.data))
+		}
 	}
-	idx := storeIndex{Version: indexVersion, Entries: s.disk}
+	entries := make(map[string]diskEntry)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k, e := range sh.disk {
+			entries[k] = e
+		}
+		sh.mu.RUnlock()
+	}
+	idx := storeIndex{Version: indexVersion, Entries: entries}
 	raw, err := json.MarshalIndent(idx, "", " ")
 	if err != nil {
 		return errors.Join(spillErr, err)
 	}
 	tmp := filepath.Join(s.dir, indexName+".tmp")
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	if err := s.fs.WriteFile(tmp, raw, 0o644); err != nil {
 		return errors.Join(spillErr, err)
 	}
-	return errors.Join(spillErr, os.Rename(tmp, filepath.Join(s.dir, indexName)))
+	return errors.Join(spillErr, s.fs.Rename(tmp, filepath.Join(s.dir, indexName)))
 }
 
-// Close releases the spill directory's advisory lock so another
-// process (or a fresh Store) can claim the dir. It does not persist
-// anything — call SaveIndex first if the disk tier should survive.
-// Close is idempotent and a no-op for memory-only stores; the store
-// must not be used after Close.
+// Close drains the spill writer and releases the spill directory's
+// advisory lock so another process (or a fresh Store) can claim the
+// dir. It does not persist the index — call SaveIndex first if the
+// disk tier should survive. Close is idempotent and a no-op for
+// memory-only stores; the store must not be used after Close.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	if s.writer != nil && !s.writerStopped {
+		s.writerStopped = true
+		s.writer.stop()
+	}
 	if s.lock == nil {
 		return nil
 	}
@@ -416,30 +720,65 @@ func (s *Store) Close() error {
 }
 
 // Len returns the number of in-memory entries; DiskLen the number of
-// spilled ones; Bytes the in-memory payload size.
+// spilled ones; Bytes the in-memory payload size. Entries in the
+// spill writer's pending window count toward none of the three — they
+// are in transit between tiers.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ll.Len()
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.items)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 func (s *Store) DiskLen() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.disk)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.disk)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 func (s *Store) Bytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.size
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.size
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// Counters returns a snapshot of the store's event counts.
+// Shards returns the store's shard count (a power of two).
+func (s *Store) Shards() int { return len(s.shards) }
+
+// SpillPending returns the number of evicted entries queued for (or
+// in the middle of) their background disk write.
+func (s *Store) SpillPending() int {
+	if s.writer == nil {
+		return 0
+	}
+	return s.writer.pendingCount()
+}
+
+// Counters returns a snapshot of the store's event counts, aggregated
+// across shards.
 func (s *Store) Counters() Counters {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.c
+	var c Counters
+	for _, sh := range s.shards {
+		c.Hits += sh.hits.Load()
+		c.Misses += sh.misses.Load()
+		c.Joins += sh.joins.Load()
+		c.Evictions += sh.evictions.Load()
+		c.SpillBytes += sh.spillBytes.Load()
+		c.VerifyFails += sh.verifyFails.Load()
+		c.SpillFails += sh.spillFails.Load()
+	}
+	return c
 }
 
 func (s *Store) path(key string) string {

@@ -136,13 +136,16 @@ func TestDoErrorNotStored(t *testing.T) {
 
 func TestEvictionSpillsToDiskAndReloads(t *testing.T) {
 	dir := t.TempDir()
-	s, err := New(64, dir) // tiny budget: forces eviction
+	// One shard so the tiny budget deterministically forces eviction
+	// (the default shard count splits the budget per shard).
+	s, err := NewWith(64, dir, Options{Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	payload := func(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 48) }
 	s.Put("a", payload(1))
-	s.Put("b", payload(2)) // evicts a to disk
+	s.Put("b", payload(2)) // evicts a; spill is async
+	s.Flush()              // wait for the background spill to land
 	if c := s.Counters(); c.Evictions == 0 || c.SpillBytes == 0 {
 		t.Fatalf("eviction not accounted: %+v", c)
 	}
@@ -173,6 +176,7 @@ func TestCorruptDiskEntryDropped(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := New(0, dir) // no memory tier: everything on disk
 	s.Put("k", []byte("payload"))
+	s.Flush() // spill is async; land it before tampering
 	if err := os.WriteFile(filepath.Join(dir, "k.bin"), []byte("tampered"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -205,6 +209,7 @@ func TestOversizedEntryBypassesMemory(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := New(16, dir)
 	s.Put("big", bytes.Repeat([]byte{7}, 128))
+	s.Flush()
 	if s.Len() != 0 || s.DiskLen() != 1 {
 		t.Fatalf("mem=%d disk=%d, want 0/1", s.Len(), s.DiskLen())
 	}
@@ -220,7 +225,7 @@ func TestOversizedEntryBypassesMemory(t *testing.T) {
 // logs once, and SaveIndex reports the loss instead of success.
 func TestSpillFailureCountedAndReported(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "spill")
-	s, err := New(16, dir)
+	s, err := NewWith(16, dir, Options{Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,6 +239,7 @@ func TestSpillFailureCountedAndReported(t *testing.T) {
 
 	s.Put("a", bytes.Repeat([]byte("x"), 12))
 	s.Put("b", bytes.Repeat([]byte("y"), 12)) // evicts "a"; spill fails
+	s.Flush()                                 // land the async spill attempt
 
 	c := s.Counters()
 	if c.Evictions != 1 {

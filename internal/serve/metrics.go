@@ -210,11 +210,13 @@ type gauges struct {
 
 	// Point-store snapshot; pointStore is false when memoization is
 	// disabled (the rrserve_pointstore_* series are then omitted).
-	pointStore   bool
-	points       pointstore.Counters
-	pointEntries int
-	pointDisk    int
-	pointBytes   int64
+	pointStore        bool
+	points            pointstore.Counters
+	pointEntries      int
+	pointDisk         int
+	pointBytes        int64
+	pointShards       int
+	pointSpillPending int
 
 	// Admission-queue snapshot: active (queued + running + inline)
 	// jobs per tenant, with the tenant's scheduling weight.
@@ -277,6 +279,8 @@ func (m *metrics) writeProm(w io.Writer, g gauges) {
 		gauge("rrserve_pointstore_entries", "In-memory point-store entries.", int64(g.pointEntries))
 		gauge("rrserve_pointstore_disk_entries", "Disk-tier point-store entries.", int64(g.pointDisk))
 		gauge("rrserve_pointstore_bytes", "In-memory point-store payload bytes.", g.pointBytes)
+		gauge("rrserve_pointstore_shards", "Point-store shard count (lock-striping width).", int64(g.pointShards))
+		gauge("rrserve_pointstore_spill_pending", "Evicted point entries awaiting their background disk write.", int64(g.pointSpillPending))
 	}
 
 	// Per-tenant admission metrics.

@@ -49,6 +49,15 @@ type Config struct {
 	// spill tier and persisted index. Keep it distinct from CacheDir
 	// only by preference; the index file names do not collide.
 	PointCacheDir string
+	// PointCacheShards sets the point store's shard count (rounded up
+	// to a power of two). 0 picks a count matched to GOMAXPROCS. More
+	// shards reduce lock contention between worker goroutines resolving
+	// points concurrently.
+	PointCacheShards int
+	// PointCacheSpillQueue bounds the point store's async spill-writer
+	// backlog, in entries (0 = the store default). Entry-creating calls
+	// throttle past it; reads never block on it.
+	PointCacheSpillQueue int
 	// JobRetention is how long a terminal job (and its result bytes)
 	// stays queryable by ID after finishing (default 15 minutes). The
 	// content-addressed cache keeps the result itself far longer; only
@@ -181,7 +190,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	var points *pointstore.Store
 	if cfg.PointCacheBytes > 0 {
-		points, err = pointstore.New(cfg.PointCacheBytes, cfg.PointCacheDir)
+		points, err = pointstore.NewWith(cfg.PointCacheBytes, cfg.PointCacheDir, pointstore.Options{
+			Shards:     cfg.PointCacheShards,
+			SpillQueue: cfg.PointCacheSpillQueue,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -923,6 +935,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		g.pointEntries = s.points.Len()
 		g.pointDisk = s.points.DiskLen()
 		g.pointBytes = s.points.Bytes()
+		g.pointShards = s.points.Shards()
+		g.pointSpillPending = s.points.SpillPending()
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b strings.Builder

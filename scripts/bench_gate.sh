@@ -18,8 +18,14 @@ set -eu
 cd "$(dirname "$0")/.."
 
 DROP=${DROP:-0.15}
-GATE_BENCHES=${GATE_BENCHES:-'BenchmarkServeGridOverlap/cold$|BenchmarkServeFidelity/sim$|BenchmarkServeFidelity/analytic$'}
-GATE_REQUIRE=${GATE_REQUIRE:-'ServeGridOverlap/cold,ServeFidelity/sim,ServeFidelity/analytic'}
+GATE_BENCHES=${GATE_BENCHES:-'BenchmarkServeGridOverlap/cold$|BenchmarkServeFidelity/sim$|BenchmarkServeFidelity/analytic$|BenchmarkSweepWarm$'}
+GATE_STORE_BENCHES=${GATE_STORE_BENCHES:-'BenchmarkPointStoreParallel/mixed-p8$'}
+GATE_REQUIRE=${GATE_REQUIRE:-'ServeGridOverlap/cold,ServeFidelity/sim,ServeFidelity/analytic,SweepWarm,PointStoreParallel/mixed-p8'}
 
-go test -run '^$' -bench "$GATE_BENCHES" -benchtime 2s -count 1 . \
-  | go run ./scripts/benchgate -drop "$DROP" -require "$GATE_REQUIRE" BENCH_*.json
+# Two packages feed one gate run: the root harness (serving + warm
+# sweep) and the point store's parallel throughput bench. benchgate
+# reads the concatenated output; the cpu string is the same either way.
+{
+  go test -run '^$' -bench "$GATE_BENCHES" -benchtime 2s -count 1 .
+  go test -run '^$' -bench "$GATE_STORE_BENCHES" -benchtime 2s -count 1 ./internal/pointstore
+} | go run ./scripts/benchgate -drop "$DROP" -require "$GATE_REQUIRE" BENCH_*.json

@@ -34,7 +34,7 @@ set -eu
 
 LABEL=${1:?"usage: scripts/bench_json.sh <label> <outfile>"}
 OUT=${2:?"usage: scripts/bench_json.sh <label> <outfile>"}
-BENCHES=${BENCHES:-'BenchmarkNodeSimulation$|BenchmarkSweepParallel$|BenchmarkMachineExecution$|BenchmarkFigure5/F128|BenchmarkServeGridOverlap'}
+BENCHES=${BENCHES:-'BenchmarkNodeSimulation$|BenchmarkSweepParallel$|BenchmarkMachineExecution$|BenchmarkFigure5/F128|BenchmarkServeGridOverlap|BenchmarkSweepWarm$'}
 PKG=${PKG:-.}
 
 RAW=$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime 2s -count 1 "$PKG")
